@@ -1,0 +1,73 @@
+"""Figure 2 — I/O latency moving average, LinnOS vs LinnOS + guardrails.
+
+Regenerates the paper's only quantitative artifact: the false-submit
+guardrail (Listing 2, executed verbatim) triggers after mid-run drift and
+the moving average of I/O latencies improves relative to unguarded LinnOS.
+
+Shape checks (not absolute numbers):
+- pre-drift, LinnOS beats the round-robin baseline;
+- post-drift, unguarded LinnOS is the worst configuration;
+- the guardrail fires within a few checks of the drift and post-trigger
+  latency drops below unguarded LinnOS.
+"""
+
+from repro.bench.report import format_series, format_table
+from repro.bench.scenarios import run_figure2_scenario
+from repro.sim.units import SECOND
+
+DRIFT_AT_S = 6
+DURATION_S = 16
+
+
+def test_figure2(linnos_model, benchmark, report_sink):
+    def run_all():
+        return {
+            mode: run_figure2_scenario(linnos_model, mode, seed=2,
+                                       drift_at_s=DRIFT_AT_S,
+                                       duration_s=DURATION_S)
+            for mode in ("baseline", "linnos", "guarded")
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    for mode, result in results.items():
+        times, averages = result.moving_average(window=200)
+        sampled = list(zip(
+            (round(t / SECOND, 1) for t in times[::400]), averages[::400]
+        ))
+        lines.append(format_series(
+            "moving average of I/O latency — {}".format(mode),
+            sampled, unit="us"))
+        lines.append("")
+
+    guarded = results["guarded"]
+    saves = guarded.kernel.reporter.notes_for(kind="SAVE")
+    trigger_s = saves[0]["time"] / SECOND if saves else None
+
+    rows = [
+        [mode,
+         result.mean_between(1, DRIFT_AT_S),
+         result.mean_between(DRIFT_AT_S + 2, DURATION_S),
+         result.false_submits,
+         result.ml_enabled]
+        for mode, result in results.items()
+    ]
+    lines.append(format_table(
+        ["mode", "pre-drift us", "post-drift us", "false submits",
+         "ml enabled"],
+        rows, title="Figure 2 summary (drift at t={}s)".format(DRIFT_AT_S)))
+    lines.append("guardrail trigger time: t={}s".format(trigger_s))
+    report_sink("fig2_linnos", "\n".join(lines))
+
+    # -- shape assertions --------------------------------------------------
+    base_pre = results["baseline"].mean_between(1, DRIFT_AT_S)
+    lin_pre = results["linnos"].mean_between(1, DRIFT_AT_S)
+    assert lin_pre < base_pre * 0.7
+
+    base_post = results["baseline"].mean_between(DRIFT_AT_S + 2, DURATION_S)
+    lin_post = results["linnos"].mean_between(DRIFT_AT_S + 2, DURATION_S)
+    grd_post = guarded.mean_between(DRIFT_AT_S + 2, DURATION_S)
+    assert lin_post > base_post
+    assert grd_post < lin_post
+    assert trigger_s is not None and DRIFT_AT_S < trigger_s <= DRIFT_AT_S + 3

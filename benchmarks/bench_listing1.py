@@ -1,0 +1,40 @@
+"""Listing 1 / Listing 2 — the specification language itself.
+
+Regenerates the interface artifacts: Listing 2 parses verbatim, round-trips
+through the printer, compiles under the default verifier budgets, and the
+end-to-end DSL pipeline is microbenchmarked (it must be cheap enough for
+incremental deployment at runtime, §3.3).
+"""
+
+from repro.bench.report import format_table
+from repro.bench.scenarios import LISTING2_SPEC
+from repro.core.compiler import GuardrailCompiler
+from repro.core.spec import parse_guardrail
+
+
+def test_listing2_pipeline(benchmark, report_sink):
+    compiler = GuardrailCompiler()
+
+    def full_pipeline():
+        spec = parse_guardrail(LISTING2_SPEC)
+        reparsed = parse_guardrail(spec.to_source())
+        return compiler.compile(reparsed)
+
+    compiled = benchmark(full_pipeline)
+    spec = compiled.spec
+    report_sink("listing2_pipeline", format_table(
+        ["aspect", "value"],
+        [
+            ["name", spec.name],
+            ["triggers", "; ".join(t.to_source() for t in spec.triggers)],
+            ["rules", "; ".join(r.to_source() for r in spec.rules)],
+            ["actions", "; ".join(a.to_source() for a in spec.actions)],
+            ["verified cost (ops/check)", compiled.verification.total_cost],
+            ["estimated ops/s", round(
+                compiled.verification.estimated_ops_per_second, 1)],
+        ],
+        title="Listing 2 through the full parse/print/compile/verify pipeline"))
+
+    assert spec.name == "low-false-submit"
+    assert compiled.trigger_params[0] == ("timer", None, 10 ** 9, None)
+    assert compiled.actions[0].kind == "SAVE"

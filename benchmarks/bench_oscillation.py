@@ -1,0 +1,88 @@
+"""§6 discussion — guardrail feedback loops, detected and dampened.
+
+Two coupled guardrails toggle ``ml_enabled`` indefinitely (each fix
+violates the other's property).  The FeedbackDetector spots the flapping;
+dampening disables the younger guardrail and the system settles.
+"""
+
+from repro.bench.report import format_table
+from repro.core.feedback import FeedbackDetector
+from repro.kernel import Kernel
+from repro.sim.units import SECOND
+
+PROTECTOR = """
+guardrail latency-protector {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { LOAD(latency_ms) <= 5 || LOAD(ml_enabled) == false },
+  action: { SAVE(ml_enabled, false) }
+}
+"""
+
+RESTORER = """
+guardrail quality-restorer {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { LOAD(quality) >= 0.8 || LOAD(ml_enabled) == true },
+  action: { SAVE(ml_enabled, true) }
+}
+"""
+
+
+def _coupled_kernel():
+    kernel = Kernel(seed=54)
+    store = kernel.store
+    store.save("ml_enabled", True)
+
+    def publish(step=0):
+        if store.load("ml_enabled"):
+            store.save("latency_ms", 8.0)
+            store.save("quality", 0.9)
+        else:
+            store.save("latency_ms", 2.0)
+            store.save("quality", 0.6)
+        if kernel.now < 40 * SECOND:
+            kernel.engine.schedule(SECOND // 2, publish, step + 1)
+
+    publish()
+    kernel.guardrails.load(PROTECTOR)
+    kernel.guardrails.load(RESTORER)
+    return kernel
+
+
+def _toggle_rate(kernel, start, end):
+    saves = [n for n in kernel.reporter.notes_for(kind="SAVE")
+             if start <= n["time"] < end]
+    return len(saves) / ((end - start) / SECOND)
+
+
+def test_oscillation_and_dampening(benchmark, report_sink):
+    def scenario():
+        kernel = _coupled_kernel()
+        detector = FeedbackDetector(kernel, window=30 * SECOND)
+        kernel.run(until=15 * SECOND)
+        before_rate = _toggle_rate(kernel, 0, 15 * SECOND)
+        reports = detector.scan()
+        flapping = [r for r in reports if r.kind == "key-flapping"]
+        victim = detector.dampen(kernel.guardrails, flapping[0])
+        kernel.run(until=30 * SECOND)
+        after_rate = _toggle_rate(kernel, 15 * SECOND, 30 * SECOND)
+        return kernel, reports, victim, before_rate, after_rate
+
+    kernel, reports, victim, before_rate, after_rate = benchmark.pedantic(
+        scenario, rounds=1, iterations=1)
+
+    rows = [
+        ["guardrail actions/s before dampening", round(before_rate, 2)],
+        ["oscillation reports", len(reports)],
+        ["report kinds", ", ".join(sorted({r.kind for r in reports}))],
+        ["dampened guardrail", victim],
+        ["guardrail actions/s after dampening", round(after_rate, 2)],
+        ["ml_enabled settled at", kernel.store.load("ml_enabled")],
+    ]
+    report_sink("oscillation", format_table(
+        ["aspect", "value"], rows,
+        title="§6: two coupled guardrails oscillate until dampened"))
+
+    assert before_rate >= 0.8                  # ~1 toggle per second
+    assert {r.kind for r in reports} == {"key-flapping", "action-ping-pong"}
+    assert victim == "quality-restorer"
+    assert after_rate <= before_rate / 5

@@ -1,0 +1,97 @@
+"""Monitor overhead scaling and compilation-path cost.
+
+Backs the framework's P5/verifier story with numbers:
+
+- simulated in-kernel overhead scales linearly in guardrail count and rule
+  cost, and stays a tiny fraction of system time at sane check rates;
+- the host-side compilation pipeline (parse -> validate -> compile ->
+  verify) is fast enough for interactive incremental deployment;
+- feature-store SAVE/LOAD — the per-event hot path — costs microseconds of
+  real time.
+"""
+
+from repro.bench.report import format_table
+from repro.core.compiler import GuardrailCompiler
+from repro.kernel import Kernel
+from repro.sim.units import SECOND
+
+SIMPLE_RULE = "LOAD(m0) <= 1"
+COSTLY_RULE = (
+    "LOAD(m0) + LOAD(m1) + LOAD(m2) + LOAD(m3) + LOAD(m4) "
+    "<= max(LOAD(m5), LOAD(m6)) * 2"
+)
+
+
+def _spec(name, rule, interval="100ms"):
+    return (
+        "guardrail {} {{ trigger: {{ TIMER(start_time, {}) }}, "
+        "rule: {{ {} }}, action: {{ REPORT() }} }}".format(name, interval, rule)
+    )
+
+
+def test_overhead_scaling(benchmark, report_sink):
+    def run(guardrail_count, rule):
+        kernel = Kernel(seed=55)
+        for i in range(7):
+            kernel.store.save("m{}".format(i), 0)
+        for g in range(guardrail_count):
+            kernel.guardrails.load(_spec("g{}".format(g), rule))
+        kernel.run(until=10 * SECOND)
+        total = kernel.guardrails.total_overhead_ns()
+        return total, total / (10 * SECOND)
+
+    def run_all():
+        out = {}
+        for count in (1, 4, 16):
+            for label, rule in (("simple", SIMPLE_RULE),
+                                ("costly", COSTLY_RULE)):
+                out[(count, label)] = run(count, rule)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [count, label, total, "{:.2e}".format(fraction)]
+        for (count, label), (total, fraction) in sorted(results.items())
+    ]
+    report_sink("overhead_scaling", format_table(
+        ["guardrails", "rule", "overhead ns / 10s", "fraction of time"],
+        rows,
+        title="Simulated monitor overhead at 10 Hz checks"))
+
+    # Linear-ish scaling in guardrail count...
+    assert results[(16, "simple")][0] >= results[(1, "simple")][0] * 10
+    # ...costly rules cost more than simple ones...
+    assert results[(4, "costly")][0] > results[(4, "simple")][0]
+    # ...and even 16 costly guardrails stay far below 0.1% of system time.
+    assert results[(16, "costly")][1] < 1e-3
+
+
+def test_compilation_pipeline_cost(benchmark, report_sink):
+    compiler = GuardrailCompiler()
+    spec = _spec("pipeline", COSTLY_RULE)
+
+    compiled = benchmark(compiler.compile, spec)
+    report_sink("overhead_compile", format_table(
+        ["aspect", "value"],
+        [
+            ["rules", len(compiled.rules)],
+            ["verified total cost (ops)", compiled.verification.total_cost],
+            ["estimated ops/s", round(
+                compiled.verification.estimated_ops_per_second)],
+        ],
+        title="Compilation pipeline: parse + validate + compile + verify"))
+    assert compiled.name == "pipeline"
+
+
+def test_feature_store_hot_path(benchmark):
+    kernel = Kernel(seed=56)
+    kernel.store.derive_rate("event", window=1 * SECOND, name="event_rate")
+    counter = [0]
+
+    def save_and_load():
+        counter[0] += 1
+        kernel.store.save("event", counter[0] % 2)
+        return kernel.store.load("event_rate")
+
+    result = benchmark(save_and_load)
+    assert 0.0 <= result <= 1.0

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and the report emitter.
+
+Every benchmark regenerates one paper artifact (a figure, table, or design
+claim) and both *prints* the regenerated rows/series (run with ``-s`` to see
+them inline) and writes them under ``benchmarks/out/`` so EXPERIMENTS.md can
+reference stable files.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench.scenarios import train_default_linnos_model
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def linnos_model():
+    """The trained LinnOS classifier, shared by every storage benchmark."""
+    return train_default_linnos_model(seed=1, train_seconds=15)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def emit(name, text):
+        path = OUT_DIR / (name + ".txt")
+        path.write_text(text + "\n")
+        print("\n" + "=" * 72)
+        print("[{}]".format(name))
+        print(text)
+        return path
+
+    return emit

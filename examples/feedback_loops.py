@@ -1,0 +1,85 @@
+"""§6 discussion: guardrail feedback loops, detected and dampened.
+
+Two well-meaning guardrails fight over the same switch:
+
+- ``latency-protector`` disables the learned policy when latency is high;
+- ``quality-restorer`` re-enables it when hit quality drops (because the
+  fallback is worse on the common case).
+
+Each fix triggers the other's violation: the system oscillates between
+violation states — exactly the failure mode the paper's discussion
+predicts.  The FeedbackDetector spots the ``ml_enabled`` flapping and
+dampens the loop by disabling the younger guardrail.
+
+Run:  python examples/feedback_loops.py
+"""
+
+from repro.core.feedback import FeedbackDetector
+from repro.kernel import Kernel
+from repro.sim.units import SECOND
+
+LATENCY_PROTECTOR = """
+guardrail latency-protector {
+  trigger: { TIMER(start_time, 1e9) },
+  rule:    { LOAD(latency_ms) <= 5 || LOAD(ml_enabled) == false }
+  ,
+  action:  { SAVE(ml_enabled, false) }
+}
+"""
+
+QUALITY_RESTORER = """
+guardrail quality-restorer {
+  trigger: { TIMER(start_time, 1e9) },
+  rule:    { LOAD(quality) >= 0.8 || LOAD(ml_enabled) == true },
+  action:  { SAVE(ml_enabled, true) }
+}
+"""
+
+
+def main():
+    kernel = Kernel(seed=3)
+    store = kernel.store
+    store.save("ml_enabled", True)
+
+    # A workload where the learned policy gives quality 0.9 but latency 8ms,
+    # while the fallback gives quality 0.6 at latency 2ms: neither guardrail
+    # can be satisfied together.
+    def publish(step=0):
+        if store.load("ml_enabled"):
+            store.save("latency_ms", 8.0)
+            store.save("quality", 0.9)
+        else:
+            store.save("latency_ms", 2.0)
+            store.save("quality", 0.6)
+        if step < 40:
+            kernel.engine.schedule(SECOND // 2, publish, step + 1)
+
+    publish()
+    protector = kernel.guardrails.load(LATENCY_PROTECTOR)
+    restorer = kernel.guardrails.load(QUALITY_RESTORER)
+
+    detector = FeedbackDetector(kernel, window=20 * SECOND)
+    kernel.run(until=12 * SECOND)
+
+    saves = kernel.reporter.notes_for(kind="SAVE")
+    print("ml_enabled writes in 12s:", len(saves))
+    print("  sequence:", " -> ".join(n["detail"].split(" = ")[1] for n in saves[:10]),
+          "...")
+
+    reports = detector.scan()
+    for report in reports:
+        print("detected:", report)
+
+    flapping = [r for r in reports if r.kind == "key-flapping"]
+    victim = detector.dampen(kernel.guardrails, flapping[0])
+    print("\ndampened by disabling:", victim)
+
+    before = len(kernel.reporter.notes_for(kind="SAVE"))
+    kernel.run(until=20 * SECOND)
+    after = len(kernel.reporter.notes_for(kind="SAVE"))
+    print("SAVE actions in the 8s after dampening:", after - before)
+    print("ml_enabled settled at:", store.load("ml_enabled"))
+
+
+if __name__ == "__main__":
+    main()

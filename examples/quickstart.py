@@ -1,0 +1,60 @@
+"""Quickstart: your first OS guardrail.
+
+Builds a simulated kernel, loads the paper's Listing 2 guardrail verbatim,
+feeds the feature store a failing metric, and watches the guardrail flip
+the ``ml_enabled`` switch.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Kernel
+from repro.sim.units import SECOND
+
+LISTING2 = """
+guardrail low-false-submit {
+  trigger: {
+    TIMER(start_time, 1e9) // Periodically check every 1s.
+  },
+  rule: {
+    LOAD(false_submit_rate) <= 0.05
+  },
+  action: {
+    SAVE(ml_enabled, false)
+  }
+}
+"""
+
+
+def main():
+    kernel = Kernel(seed=0)
+
+    # A learned policy would normally publish this; here we fake a model
+    # whose false-submit rate degrades over time.
+    kernel.store.save("ml_enabled", True)
+
+    def degrade(step=0):
+        rate = 0.01 * step
+        kernel.store.save("false_submit_rate", rate)
+        if step < 20:
+            kernel.engine.schedule(SECOND // 2, degrade, step + 1)
+
+    degrade()
+
+    monitor = kernel.guardrails.load(LISTING2)
+    print("loaded guardrail:", monitor.name)
+    print("verified cost   :", monitor.compiled.verification.total_cost, "ops/check")
+
+    kernel.run(until=12 * SECOND)
+
+    print("\nchecks run      :", monitor.check_count)
+    print("violations      :", monitor.violation_count)
+    print("ml_enabled now  :", kernel.store.load("ml_enabled"))
+    first = monitor.violations[0]
+    print("first violation : t={:.1f}s rule={!r}".format(
+        first.time / SECOND, first.rule))
+    assert kernel.store.load("ml_enabled") is False
+    print("\nThe guardrail detected the degrading model and disabled it.")
+
+
+if __name__ == "__main__":
+    main()

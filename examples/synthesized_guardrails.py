@@ -1,0 +1,94 @@
+"""§3.3 automation: synthesize guardrails from a policy manifest,
+then auto-tighten a relaxed threshold from observed behavior.
+
+The learned cache policy declares a manifest (reward metric = hit rate,
+baseline = shadow random cache, fallback = random eviction); the
+synthesizer expands it into P4 and P5 guardrails without hand-written DSL.
+A relaxed page-fault-latency guardrail is then tightened automatically
+toward the observed p99.
+
+Run:  python examples/synthesized_guardrails.py
+"""
+
+import numpy as np
+
+from repro.core.synthesis import PolicyManifest, synthesize_guardrails
+from repro.core.tightening import AutoTightener
+from repro.kernel import Kernel
+from repro.kernel.cache import KvCache, random_evict
+from repro.kernel.mm import PageFaultHandler
+from repro.policies.cachepol import attach_learned_cache_policy
+from repro.sim.units import SECOND
+
+
+def main():
+    kernel = Kernel(seed=21)
+    cache = kernel.attach("cache", KvCache(kernel, capacity=64))
+    cache.add_shadow("random", random_evict(kernel.engine.rng.get("shadow")))
+    attach_learned_cache_policy(kernel, cache)
+
+    manifest = PolicyManifest(
+        name="cache_policy",
+        slot="cache.evict",
+        fallback="cache.random",
+        reward_key="cache.hit_rate",
+        baseline_key="cache.random.hit_rate",
+        quality_margin=0.02,
+    )
+    specs = synthesize_guardrails(manifest)
+    print("synthesized properties:", ", ".join(sorted(specs)))
+    print("\n--- generated P4 guardrail ---")
+    print(specs["P4"])
+    for spec in specs.values():
+        kernel.guardrails.load(spec)
+
+    # Drive a zipf workload so the synthesized guardrails have data.
+    rng = np.random.default_rng(0)
+
+    def access(step=0):
+        cache.access(int(rng.zipf(1.3)) % 300)
+        if step < 4000:
+            kernel.engine.schedule(2_000_000, access, step + 1)
+
+    access()
+
+    # §3.3 auto-tightening: start the fault-latency bound relaxed at 50 ms
+    # and let observed behavior pull it down.
+    faults = kernel.attach("mm", PageFaultHandler(kernel))
+
+    def fault_loop(step=0):
+        faults.fault(address=step)
+        if step < 2000:
+            kernel.engine.schedule(4_000_000, fault_loop, step + 1)
+
+    fault_loop()
+
+    def build_spec(threshold):
+        return (
+            "guardrail fault-latency {{\n"
+            "  trigger: {{ TIMER(start_time, 1e9) }},\n"
+            "  rule:    {{ LOAD(mm.page_fault_latency_ms.avg) <= {} }},\n"
+            "  action:  {{ REPORT() }}\n"
+            "}}\n"
+        ).format(threshold)
+
+    tightener = AutoTightener(
+        kernel.guardrails, "fault-latency", "mm.page_fault_latency_ms",
+        build_spec, initial_threshold=50.0, interval=1 * SECOND,
+        quantile=0.99, margin=2.0,
+    ).start()
+
+    kernel.run(until=9 * SECOND)
+
+    print("\n--- auto-tightening trajectory (threshold in ms) ---")
+    for time, threshold in tightener.history:
+        print("  t={:>4.1f}s  threshold={:.4f}".format(time / SECOND, threshold))
+
+    print("\nguardrail stats:")
+    for name, stats in kernel.guardrails.stats().items():
+        print("  {:32s} checks={:<4d} violations={}".format(
+            name, stats["checks"], stats["violations"]))
+
+
+if __name__ == "__main__":
+    main()

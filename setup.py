@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs with this
+setuptools version; offline boxes may not have it.  ``python setup.py
+develop`` (or ``pip install -e . --no-use-pep517``) works without it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Guardrails for the OS — reproduction of the HotOS '25 paper.
+
+Public API tour::
+
+    from repro import Kernel, GuardrailManager
+
+    kernel = Kernel(seed=42)
+    kernel.guardrails.load('''
+        guardrail low-false-submit {
+          trigger: { TIMER(start_time, 1e9) },
+          rule:    { LOAD(false_submit_rate) <= 0.05 },
+          action:  { SAVE(ml_enabled, false) }
+        }
+    ''')
+    kernel.run(until=10_000_000_000)
+
+Packages:
+
+- :mod:`repro.core` — the guardrail framework (DSL, compiler, verifier,
+  monitors, actions, feature store, property templates, synthesis,
+  auto-tightening, feedback-loop detection, dependency-tracked checking);
+- :mod:`repro.kernel` — the simulated OS substrate (storage, memory,
+  scheduler, cache, network);
+- :mod:`repro.policies` — learned policies + heuristic fallbacks;
+- :mod:`repro.ml` — from-scratch numpy ML (MLP, Adam, Q-learning);
+- :mod:`repro.detect` — streaming statistics and drift detection;
+- :mod:`repro.sim` — the discrete-event engine.
+"""
+
+from repro.core import (
+    FeatureStore,
+    GuardrailCompiler,
+    GuardrailManager,
+    GuardrailMonitor,
+    parse_guardrail,
+    parse_guardrails,
+)
+from repro.kernel import Kernel
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "FeatureStore",
+    "GuardrailCompiler",
+    "GuardrailManager",
+    "GuardrailMonitor",
+    "parse_guardrail",
+    "parse_guardrails",
+    "Kernel",
+    "__version__",
+]

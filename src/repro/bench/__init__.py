@@ -1,0 +1,18 @@
+"""Benchmark harness helpers: run experiment scenarios, print paper-style rows."""
+
+from repro.bench.report import format_series, format_table
+from repro.bench.scenarios import (
+    Fig2Result,
+    bucket_series,
+    run_figure2_scenario,
+    train_default_linnos_model,
+)
+
+__all__ = [
+    "format_series",
+    "format_table",
+    "Fig2Result",
+    "bucket_series",
+    "run_figure2_scenario",
+    "train_default_linnos_model",
+]

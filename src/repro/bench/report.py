@@ -1,0 +1,39 @@
+"""Plain-text tables and series, matching how the paper reports results."""
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width table; values are stringified with sensible float formats."""
+    def fmt(value):
+        if isinstance(value, float):
+            if value == 0 or 0.01 <= abs(value) < 100_000:
+                return "{:.3f}".format(value).rstrip("0").rstrip(".")
+            return "{:.3g}".format(value)
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name, pairs, unit="", points_per_line=8):
+    """A labeled (x, y) series as aligned text, several points per line."""
+    lines = ["{}{}".format(name, " ({})".format(unit) if unit else "")]
+    chunk = []
+    for x, y in pairs:
+        chunk.append("{}:{:.0f}".format(x, y))
+        if len(chunk) == points_per_line:
+            lines.append("  " + "  ".join(chunk))
+            chunk = []
+    if chunk:
+        lines.append("  " + "  ".join(chunk))
+    return "\n".join(lines)

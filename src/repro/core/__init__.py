@@ -1,0 +1,61 @@
+"""Guardrails for the OS — the paper's primary contribution.
+
+The pipeline mirrors §3–§4 of the paper:
+
+1. Write a guardrail spec in the Listing 1 DSL (or build one
+   programmatically, or expand a P1–P6 property template).
+2. :class:`~repro.core.compiler.GuardrailCompiler` parses it, runs the
+   eBPF-style static verifier, and emits a
+   :class:`~repro.core.monitor.GuardrailMonitor`.
+3. A :class:`~repro.core.registry.GuardrailManager` loads monitors into a
+   running (simulated) kernel; triggers fire, rules evaluate against the
+   global feature store, and violated rules dispatch REPORT / REPLACE /
+   RETRAIN / DEPRIORITIZE actions.
+"""
+
+from repro.core.actions import (
+    Action,
+    ActionContext,
+    DeprioritizeAction,
+    ReplaceAction,
+    ReportAction,
+    RetrainAction,
+)
+from repro.core.compiler import CompiledGuardrail, GuardrailCompiler
+from repro.core.errors import (
+    CompileError,
+    GuardrailError,
+    ParseError,
+    SpecError,
+    VerifierError,
+)
+from repro.core.featurestore import FeatureStore
+from repro.core.monitor import GuardrailMonitor, Violation
+from repro.core.registry import GuardrailManager
+from repro.core.spec import GuardrailSpec, parse_guardrail, parse_guardrails
+from repro.core.triggers import FunctionTrigger, TimerTrigger
+
+__all__ = [
+    "Action",
+    "ActionContext",
+    "DeprioritizeAction",
+    "ReplaceAction",
+    "ReportAction",
+    "RetrainAction",
+    "CompiledGuardrail",
+    "GuardrailCompiler",
+    "CompileError",
+    "GuardrailError",
+    "ParseError",
+    "SpecError",
+    "VerifierError",
+    "FeatureStore",
+    "GuardrailMonitor",
+    "Violation",
+    "GuardrailManager",
+    "GuardrailSpec",
+    "parse_guardrail",
+    "parse_guardrails",
+    "FunctionTrigger",
+    "TimerTrigger",
+]

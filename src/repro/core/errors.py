@@ -1,0 +1,47 @@
+"""Exception hierarchy for the guardrail framework."""
+
+
+class GuardrailError(Exception):
+    """Base class for all guardrail-framework errors."""
+
+
+class SpecError(GuardrailError):
+    """A guardrail specification is structurally or semantically invalid."""
+
+
+class ParseError(SpecError):
+    """The DSL text could not be parsed.
+
+    Carries the source line/column so spec authors get a pointer into their
+    guardrail file.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = " at line {}".format(line)
+            if column is not None:
+                location += ", column {}".format(column)
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class CompileError(GuardrailError):
+    """A valid spec could not be compiled into a monitor."""
+
+
+class VerifierError(CompileError):
+    """The static verifier rejected a compiled monitor.
+
+    Mirrors the eBPF verifier: a monitor whose per-check cost cannot be
+    bounded must not be loaded into the kernel.
+    """
+
+
+class StoreError(GuardrailError):
+    """Invalid feature-store usage (bad key, type mismatch, ...)."""
+
+
+class ActionError(GuardrailError):
+    """An action could not be executed (unknown fallback, missing trainer...)."""

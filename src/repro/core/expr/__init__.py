@@ -1,0 +1,5 @@
+"""Rule-expression compilation and evaluation."""
+
+from repro.core.expr.compile import EvalContext, compile_expression, static_cost
+
+__all__ = ["EvalContext", "compile_expression", "static_cost"]

@@ -1,0 +1,212 @@
+"""The global feature store of §4.3.
+
+Guardrails interact with system-wide state exclusively through
+``SAVE(key, value)`` and ``LOAD(key)``.  Kernel subsystems (and actions)
+save raw metrics; rules load them.  On top of raw keys the store supports:
+
+- **derived keys** — registered streaming aggregators (moving average, rate,
+  EWMA, quantile) that update whenever their source key is saved, so a rule
+  can just ``LOAD(page_fault_latency.avg)`` instead of every guardrail
+  re-implementing aggregation;
+- **change subscription** — the dependency-tracked checking of §6 needs to
+  know which keys changed since a monitor last evaluated.
+
+Key syntax matches the DSL identifier rules: dot-separated identifiers like
+``false_submit_rate`` or ``storage.io_latency.p95``.
+"""
+
+import math
+import re
+
+from repro.core.errors import StoreError
+from repro.detect.quantiles import P2Quantile
+from repro.detect.streaming import Ewma, MovingAverage, RateCounter, WindowedMean
+
+_KEY_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*$")
+
+
+class _DerivedKey:
+    """A streaming aggregate fed from a source key."""
+
+    def __init__(self, name, source, estimator, extract):
+        self.name = name
+        self.source = source
+        self.estimator = estimator
+        self._extract = extract
+
+    def update(self, value, now):
+        self.estimator.update(value)
+
+    def value(self, now):
+        return self._extract(self.estimator, now)
+
+
+class _DerivedWindowedMean(_DerivedKey):
+    """Time-window averages need timestamps, not just values."""
+
+    def __init__(self, name, source, window):
+        super().__init__(name, source, WindowedMean(window), None)
+
+    def update(self, value, now):
+        self.estimator.observe(now, value)
+
+    def value(self, now):
+        return self.estimator.mean(now)
+
+
+class _DerivedRate(_DerivedKey):
+    """Rate aggregates need timestamps, not just values."""
+
+    def __init__(self, name, source, window, predicate):
+        super().__init__(name, source, RateCounter(window), None)
+        self._predicate = predicate
+
+    def update(self, value, now):
+        self.estimator.observe(now, self._predicate(value))
+
+    def value(self, now):
+        return self.estimator.rate(now)
+
+
+class FeatureStore:
+    """Global key/value store with derived aggregates and change tracking."""
+
+    def __init__(self, clock=None):
+        self._clock = clock if clock is not None else (lambda: 0)
+        self._values = {}
+        self._derived = {}      # derived key name -> _DerivedKey
+        self._by_source = {}    # source key -> [derived keys]
+        self._versions = {}     # key -> monotonically increasing int
+        self._subscribers = []  # callbacks (key, value, now)
+        self.save_count = 0
+        self.load_count = 0
+
+    def _check_key(self, key):
+        if not isinstance(key, str) or not _KEY_RE.match(key):
+            raise StoreError("invalid feature-store key: {!r}".format(key))
+
+    def save(self, key, value):
+        """SAVE(key, value) — store a raw value and feed derived keys."""
+        self._check_key(key)
+        if key in self._derived:
+            raise StoreError(
+                "key {!r} is derived (from {!r}) and cannot be saved directly"
+                .format(key, self._derived[key].source)
+            )
+        now = self._clock()
+        self.save_count += 1
+        self._values[key] = value
+        self._bump(key, value, now)
+        if isinstance(value, bool):
+            numeric = float(value)
+        elif isinstance(value, (int, float)):
+            numeric = float(value)
+        else:
+            numeric = None
+        if numeric is not None:
+            for derived in self._by_source.get(key, ()):
+                derived.update(numeric, now)
+                self._bump(derived.name, None, now)
+
+    def load(self, key, default=None):
+        """LOAD(key) — raw value or current derived-aggregate value.
+
+        Missing keys return ``default`` (``None`` unless given); rules treat
+        a ``None`` load as "no data yet", which never violates.
+        """
+        self._check_key(key)
+        self.load_count += 1
+        now = self._clock()
+        if key in self._derived:
+            return self._derived[key].value(now)
+        if key in self._values:
+            return self._values[key]
+        return default
+
+    def __contains__(self, key):
+        return key in self._values or key in self._derived
+
+    def keys(self):
+        return sorted(set(self._values) | set(self._derived))
+
+    def version(self, key):
+        """Monotonic change counter for a key (0 if never written)."""
+        return self._versions.get(key, 0)
+
+    def _bump(self, key, value, now):
+        self._versions[key] = self._versions.get(key, 0) + 1
+        # Copy: a subscriber may (un)subscribe, or trigger saves that
+        # re-enter _bump, while we iterate.
+        for callback in list(self._subscribers):
+            callback(key, value, now)
+
+    def subscribe(self, callback):
+        """Call ``callback(key, value, now)`` on every key change."""
+        self._subscribers.append(callback)
+
+        def unsubscribe():
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # -- derived keys -----------------------------------------------------
+
+    def _register_derived(self, derived):
+        self._check_key(derived.name)
+        self._check_key(derived.source)
+        if derived.name in self._derived or derived.name in self._values:
+            raise StoreError("derived key {!r} already exists".format(derived.name))
+        self._derived[derived.name] = derived
+        self._by_source.setdefault(derived.source, []).append(derived)
+        return derived.name
+
+    def derive_moving_average(self, source, window, name=None):
+        """``name`` tracks the moving average of the last ``window`` saves."""
+        name = name or source + ".avg"
+        estimator = MovingAverage(window)
+        return self._register_derived(
+            _DerivedKey(name, source, estimator, lambda e, now: e.value)
+        )
+
+    def derive_ewma(self, source, alpha, name=None):
+        name = name or source + ".ewma"
+        estimator = Ewma(alpha)
+        return self._register_derived(
+            _DerivedKey(name, source, estimator, lambda e, now: e.value)
+        )
+
+    def derive_quantile(self, source, q, name=None):
+        name = name or "{}.p{:g}".format(source, q * 100)
+        estimator = P2Quantile(q)
+        return self._register_derived(
+            _DerivedKey(name, source, estimator, lambda e, now: e.value)
+        )
+
+    def derive_time_average(self, source, window, name=None):
+        """``name`` is the mean of saves within the trailing ``window`` ns."""
+        name = name or source + ".tavg"
+        return self._register_derived(_DerivedWindowedMean(name, source, window))
+
+    def derive_rate(self, source, window, predicate=None, name=None):
+        """``name`` is the fraction of recent saves satisfying ``predicate``.
+
+        With the default predicate the source is expected to be saved as
+        0/1 (or bool) event outcomes, e.g. ``SAVE(false_submit, 1)``.
+        """
+        name = name or source + ".rate"
+        predicate = predicate or (lambda v: bool(v))
+        return self._register_derived(_DerivedRate(name, source, window, predicate))
+
+    def snapshot(self):
+        """All current raw values plus derived values (for REPORT payloads)."""
+        now = self._clock()
+        out = dict(self._values)
+        for name, derived in self._derived.items():
+            value = derived.value(now)
+            if isinstance(value, float) and math.isnan(value):
+                continue
+            out[name] = value
+        return out

@@ -1,0 +1,158 @@
+"""The guardrail monitor runtime.
+
+A :class:`GuardrailMonitor` is one compiled guardrail bound to one host.
+When armed, its triggers deliver ``fire(payload)`` callbacks; each firing
+evaluates every rule against the feature store and the trigger payload.  A
+rule that evaluates to ``False`` is a violation: the monitor records it and
+dispatches the guardrail's actions (subject to the cooldown).  ``None``
+results (missing data) are counted separately and never violate.
+
+Every evaluation is charged to the monitor's :class:`OverheadAccount`, so
+benchmarks — and P5 guardrails watching other guardrails — can see exactly
+what monitoring costs.
+"""
+
+from repro.core.actions import ActionContext
+from repro.core.errors import GuardrailError
+from repro.core.expr import EvalContext
+from repro.core.overhead import OverheadAccount
+from repro.core.triggers import FunctionTrigger, TimerTrigger
+
+
+class Violation:
+    """One recorded rule violation."""
+
+    __slots__ = ("guardrail", "rule", "time", "payload")
+
+    def __init__(self, guardrail, rule, time, payload):
+        self.guardrail = guardrail
+        self.rule = rule
+        self.time = time
+        self.payload = payload
+
+    def __repr__(self):
+        return "Violation({!r}, rule={!r}, t={})".format(
+            self.guardrail, self.rule, self.time
+        )
+
+
+class GuardrailMonitor:
+    """Runtime state of one loaded guardrail."""
+
+    def __init__(self, compiled, host, cost_model=None):
+        self.compiled = compiled
+        self.name = compiled.name
+        self.host = host
+        self.overhead = OverheadAccount(cost_model)
+        self.triggers = [self._build_trigger(p) for p in compiled.trigger_params]
+        self.enabled = False
+        self.check_count = 0
+        self.violation_count = 0
+        self.inconclusive_count = 0
+        self.violations = []
+        self.max_recorded_violations = 10_000
+        self._last_fired = {}  # rule source -> last action-dispatch time
+        self.action_dispatch_count = 0
+        self.action_error_count = 0
+
+    def _build_trigger(self, params):
+        if params[0] == "timer":
+            _, start, interval, stop = params
+            return TimerTrigger(interval, start=start, stop=stop)
+        _, function_name = params
+        return FunctionTrigger(function_name)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def arm(self):
+        """Attach all triggers; the monitor starts checking."""
+        if self.enabled:
+            return
+        self.enabled = True
+        for trigger in self.triggers:
+            trigger.arm(self.host, self._fire)
+
+    def disarm(self):
+        """Detach all triggers; the monitor stops checking."""
+        if not self.enabled:
+            return
+        self.enabled = False
+        for trigger in self.triggers:
+            trigger.disarm()
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _fire(self, payload):
+        if not self.enabled:
+            return
+        self.check(payload)
+
+    def check(self, payload=None):
+        """Evaluate all rules once; returns the list of new violations."""
+        payload = payload or {}
+        now = self.host.engine.now
+        self.check_count += 1
+        new_violations = []
+        for source, program, _cost in self.compiled.rules:
+            ctx = EvalContext(self.host.store, now, payload)
+            result = program(ctx)
+            self.overhead.charge_check(ctx.ops)
+            if result is None:
+                self.inconclusive_count += 1
+                continue
+            if not result:
+                violation = Violation(self.name, source, now, payload)
+                self.violation_count += 1
+                if len(self.violations) < self.max_recorded_violations:
+                    self.violations.append(violation)
+                new_violations.append(violation)
+                self._maybe_dispatch(violation)
+        return new_violations
+
+    def _maybe_dispatch(self, violation):
+        cooldown = self.compiled.cooldown
+        if cooldown:
+            last = self._last_fired.get(violation.rule)
+            if last is not None and violation.time - last < cooldown:
+                return
+        self._last_fired[violation.rule] = violation.time
+        ctx = ActionContext(
+            self.host, self.name, violation.rule, violation.time, violation.payload
+        )
+        for action in self.compiled.actions:
+            try:
+                action.execute(ctx)
+            except GuardrailError as error:
+                # A misconfigured action (unknown slot, bad store key...) is
+                # contained and reported — a monitor must never take the
+                # kernel down, even when its remedy is broken.
+                self.action_error_count += 1
+                self.host.reporter.note(
+                    "ACTION_ERROR", self.name, violation.time,
+                    detail="{}: {}".format(action.kind, error))
+            else:
+                self.action_dispatch_count += 1
+            self.overhead.charge_action()
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def rule_sources(self):
+        return [source for source, _, _ in self.compiled.rules]
+
+    def stats(self):
+        return {
+            "name": self.name,
+            "enabled": self.enabled,
+            "checks": self.check_count,
+            "violations": self.violation_count,
+            "inconclusive": self.inconclusive_count,
+            "action_dispatches": self.action_dispatch_count,
+            "action_errors": self.action_error_count,
+            "overhead": self.overhead.snapshot(),
+        }
+
+    def __repr__(self):
+        return "GuardrailMonitor({!r}, checks={}, violations={})".format(
+            self.name, self.check_count, self.violation_count
+        )

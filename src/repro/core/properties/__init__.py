@@ -1,0 +1,38 @@
+"""Property templates P1–P6 (Figure 1, left table).
+
+Each template expands to guardrail DSL text, ready for
+``GuardrailManager.load``.  Templates encode the paper's taxonomy:
+
+========  ========================  =========================================
+Property  Template                  Default action (Figure 1 pairing)
+========  ========================  =========================================
+P1        :func:`in_distribution`   REPORT (early warning) + RETRAIN
+P2        :func:`robustness`        RETRAIN
+P3        :func:`output_bounds`     REPLACE with the fallback
+P4        :func:`decision_quality`  REPLACE with the fallback
+P5        :func:`decision_overhead` REPLACE with the fallback
+P6        :func:`fairness_liveness` DEPRIORITIZE (or REPLACE)
+========  ========================  =========================================
+
+Templates emit plain DSL so the generated guardrail is inspectable,
+version-controllable, and passes through the same parser/verifier path as a
+hand-written one.
+"""
+
+from repro.core.properties.templates import (
+    decision_overhead,
+    decision_quality,
+    fairness_liveness,
+    in_distribution,
+    output_bounds,
+    robustness,
+)
+
+__all__ = [
+    "decision_overhead",
+    "decision_quality",
+    "fairness_liveness",
+    "in_distribution",
+    "output_bounds",
+    "robustness",
+]

@@ -1,0 +1,88 @@
+"""The guardrail specification DSL (Listing 1 of the paper).
+
+Grammar, extended with the concrete syntax of Listing 2::
+
+    <Guardrail> ::= "guardrail" <name> "{"
+                        "trigger:" "{" <Trigger> ("," <Trigger>)* "}" ","
+                        "rule:"    "{" <Rule>    ("," <Rule>)*    "}" ","
+                        "action:"  "{" <Action>  ("," <Action>)*  "}"
+                    "}"
+    <Trigger>   ::= TIMER "(" <expr> "," <expr> ["," <expr>] ")"
+                  | FUNCTION "(" <identifier> ")"
+    <Rule>      ::= <expr>                      -- must hold; violation otherwise
+    <Action>    ::= REPORT "(" [<expr-list>] ")"
+                  | REPLACE "(" <identifier> "," <identifier> ")"
+                  | RETRAIN "(" <identifier> ["," <expr>] ")"
+                  | DEPRIORITIZE "(" "{" <identifier-list> "}" "," "{" <expr-list> "}" ")"
+                  | SAVE "(" <key> "," <expr> ")"
+
+Expressions support ``LOAD(key)``, arithmetic, comparisons, boolean logic
+(``&&``/``||``/``!`` and ``and``/``or``/``not``), a small builtin set
+(``abs``, ``min``, ``max``), numeric literals with optional time-unit
+suffixes (``50ms``, ``100us``, ``1s`` — all normalized to nanoseconds),
+and ``//`` / ``/* */`` comments.
+
+Rules may also use **declarative aggregates** over feature-store keys —
+``AVG(key, window)`` (time-windowed mean), ``RATE(key, window)`` (fraction
+of truthy saves), ``EWMA(key, alpha)``, and ``P50/P95/P99(key)`` — so §4.3's
+example property is written directly as::
+
+    rule: { AVG(page_fault_latency_ms, 10s) <= 2 }
+
+The compiler lowers each aggregate to a canonically-named derived key and
+registers the streaming estimator when the monitor is loaded; guardrails
+using the same aggregate share one estimator.
+
+``SAVE`` appears as an action because the paper's own Listing 2 uses
+``SAVE(ml_enabled, false)`` to disable the model — in our framework that is
+sugar for a store write the surrounding system reacts to.
+"""
+
+from repro.core.spec.ast import (
+    ActionSpec,
+    Aggregate,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    DeprioritizeSpec,
+    FunctionTriggerSpec,
+    GuardrailSpec,
+    Load,
+    Name,
+    NumberLiteral,
+    ReplaceSpec,
+    ReportSpec,
+    RetrainSpec,
+    RuleSpec,
+    SaveSpec,
+    StringLiteral,
+    TimerTriggerSpec,
+    UnaryOp,
+)
+from repro.core.spec.parser import parse_guardrail, parse_guardrails
+from repro.core.spec.validator import validate_spec
+
+__all__ = [
+    "ActionSpec",
+    "Aggregate",
+    "BinaryOp",
+    "BoolLiteral",
+    "Call",
+    "DeprioritizeSpec",
+    "FunctionTriggerSpec",
+    "GuardrailSpec",
+    "Load",
+    "Name",
+    "NumberLiteral",
+    "ReplaceSpec",
+    "ReportSpec",
+    "RetrainSpec",
+    "RuleSpec",
+    "SaveSpec",
+    "StringLiteral",
+    "TimerTriggerSpec",
+    "UnaryOp",
+    "parse_guardrail",
+    "parse_guardrails",
+    "validate_spec",
+]

@@ -1,0 +1,179 @@
+"""Tokenizer for the guardrail DSL."""
+
+from repro.core.errors import ParseError
+
+# Longest operators first so '<=' wins over '<'.
+_OPERATORS = [
+    "&&", "||", "==", "!=", "<=", ">=",
+    "{", "}", "(", ")", ",", ":", "<", ">", "+", "-", "*", "/", "!", "=",
+]
+
+_KEYWORDS = {
+    "guardrail", "trigger", "rule", "action",
+    "TIMER", "FUNCTION",
+    "REPORT", "REPLACE", "RETRAIN", "DEPRIORITIZE",
+    "SAVE", "LOAD",
+    "AVG", "RATE", "EWMA", "P50", "P95", "P99",
+    "true", "false", "and", "or", "not",
+}
+
+# Time-unit suffixes on numeric literals, normalized to nanoseconds.
+_UNIT_NS = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
+
+
+class Token:
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind      # 'ident', 'keyword', 'number', 'string', 'op', 'eof'
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return "Token({}, {!r}, {}:{})".format(self.kind, self.value, self.line, self.column)
+
+
+class Lexer:
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message):
+        raise ParseError(message, self.line, self.column)
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _skip_whitespace_and_comments(self):
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    self._error("unterminated block comment")
+            else:
+                return
+
+    def tokens(self):
+        """Tokenize the whole input; always ends with an 'eof' token."""
+        out = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                out.append(Token("eof", None, self.line, self.column))
+                return out
+            out.append(self._next_token())
+
+    def _next_token(self):
+        line, column = self.line, self.column
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, column)
+        if ch == '"' or ch == "'":
+            return self._string(line, column, ch)
+        for op in _OPERATORS:
+            if self.text.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, line, column)
+        self._error("unexpected character {!r}".format(ch))
+
+    def _number(self, line, column):
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == ".":
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE":
+            lookahead = 1
+            if self._peek(1) in "+-":
+                lookahead = 2
+            if self._peek(lookahead).isdigit():
+                self._advance(lookahead)
+                while self._peek().isdigit():
+                    self._advance()
+        literal = self.text[start:self.pos]
+        value = float(literal)
+        # Optional time-unit suffix: 50ms, 100us, 1s, 2ns.
+        suffix_start = self.pos
+        while self._peek().isalpha():
+            self._advance()
+        suffix = self.text[suffix_start:self.pos]
+        if suffix:
+            if suffix not in _UNIT_NS:
+                raise ParseError(
+                    "unknown unit suffix {!r} on number {!r}".format(suffix, literal),
+                    line, column,
+                )
+            value *= _UNIT_NS[suffix]
+        if value == int(value):
+            value = int(value)
+        return Token("number", value, line, column)
+
+    def _word(self, line, column):
+        start = self.pos
+        while True:
+            ch = self._peek()
+            # NB: the emptiness check matters — "" is "in" every string.
+            if not ch or not (ch.isalnum() or ch in "_."):
+                break
+            self._advance()
+        word = self.text[start:self.pos]
+        if word.endswith("."):
+            self._error("identifier {!r} ends with a dot".format(word))
+        kind = "keyword" if word in _KEYWORDS else "ident"
+        return Token(kind, word, line, column)
+
+    def _string(self, line, column, quote):
+        self._advance()
+        chars = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise ParseError("unterminated string literal", line, column)
+            if ch == quote:
+                self._advance()
+                return Token("string", "".join(chars), line, column)
+            if ch == "\\":
+                self._advance()
+                escaped = self._peek()
+                mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+                if escaped not in mapping:
+                    self._error("bad escape \\{}".format(escaped))
+                chars.append(mapping[escaped])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+
+
+def tokenize(text):
+    """Tokenize DSL ``text`` into a list of :class:`Token`."""
+    return Lexer(text).tokens()

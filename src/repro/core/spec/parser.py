@@ -1,0 +1,370 @@
+"""Recursive-descent parser for the guardrail DSL."""
+
+from repro.core.errors import ParseError
+from repro.core.spec.ast import (
+    Aggregate,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    DeprioritizeSpec,
+    FunctionTriggerSpec,
+    GuardrailSpec,
+    Load,
+    Name,
+    NumberLiteral,
+    ReplaceSpec,
+    ReportSpec,
+    RetrainSpec,
+    RuleSpec,
+    SaveSpec,
+    StringLiteral,
+    TimerTriggerSpec,
+    UnaryOp,
+)
+from repro.core.spec.lexer import tokenize
+from repro.core.spec.validator import validate_spec
+
+_BUILTIN_FUNCTIONS = {"abs", "min", "max", "clamp"}
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self):
+        return self.tokens[self.index]
+
+    def _advance(self):
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _error(self, message):
+        token = self._peek()
+        raise ParseError(message, token.line, token.column)
+
+    def _expect_op(self, op):
+        token = self._peek()
+        if token.kind != "op" or token.value != op:
+            self._error("expected {!r}, found {!r}".format(op, token.value))
+        return self._advance()
+
+    def _expect_keyword(self, word):
+        token = self._peek()
+        if token.kind != "keyword" or token.value != word:
+            self._error("expected {!r}, found {!r}".format(word, token.value))
+        return self._advance()
+
+    def _expect_name(self):
+        """Identifier; guardrail names may include '-' between identifiers."""
+        token = self._peek()
+        if token.kind not in ("ident", "keyword"):
+            self._error("expected an identifier, found {!r}".format(token.value))
+        self._advance()
+        parts = [str(token.value)]
+        while self._matches_op("-"):
+            self._advance()
+            nxt = self._peek()
+            if nxt.kind not in ("ident", "keyword", "number"):
+                self._error("dangling '-' in name")
+            self._advance()
+            parts.append(str(nxt.value))
+        return "-".join(parts)
+
+    def _expect_identifier(self):
+        token = self._peek()
+        if token.kind != "ident":
+            self._error("expected an identifier, found {!r}".format(token.value))
+        self._advance()
+        return token.value
+
+    def _matches_op(self, *ops):
+        token = self._peek()
+        return token.kind == "op" and token.value in ops
+
+    def _matches_keyword(self, *words):
+        token = self._peek()
+        return token.kind == "keyword" and token.value in words
+
+    def _consume_op_if(self, op):
+        if self._matches_op(op):
+            self._advance()
+            return True
+        return False
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_all(self):
+        specs = []
+        while not self._at_eof():
+            specs.append(self.parse_guardrail())
+        return specs
+
+    def _at_eof(self):
+        return self._peek().kind == "eof"
+
+    def parse_guardrail(self):
+        self._expect_keyword("guardrail")
+        name = self._expect_name()
+        self._expect_op("{")
+        triggers = rules = actions = None
+        while not self._matches_op("}"):
+            section = self._peek()
+            if section.kind != "keyword" or section.value not in (
+                "trigger", "rule", "action",
+            ):
+                self._error(
+                    "expected a 'trigger:', 'rule:', or 'action:' section, found {!r}"
+                    .format(section.value)
+                )
+            self._advance()
+            self._expect_op(":")
+            self._expect_op("{")
+            if section.value == "trigger":
+                if triggers is not None:
+                    self._error("duplicate trigger section")
+                triggers = self._parse_list(self._parse_trigger)
+            elif section.value == "rule":
+                if rules is not None:
+                    self._error("duplicate rule section")
+                rules = self._parse_list(self._parse_rule)
+            else:
+                if actions is not None:
+                    self._error("duplicate action section")
+                actions = self._parse_list(self._parse_action)
+            self._expect_op("}")
+            self._consume_op_if(",")
+        self._expect_op("}")
+        spec = GuardrailSpec(name, triggers or [], rules or [], actions or [])
+        validate_spec(spec)
+        return spec
+
+    def _parse_list(self, parse_item):
+        items = [parse_item()]
+        while self._consume_op_if(","):
+            if self._matches_op("}"):  # allow trailing comma
+                break
+            items.append(parse_item())
+        return items
+
+    # -- sections --------------------------------------------------------------
+
+    def _parse_trigger(self):
+        if self._matches_keyword("TIMER"):
+            self._advance()
+            self._expect_op("(")
+            args = self._parse_list(self.parse_expression)
+            self._expect_op(")")
+            if len(args) == 2:
+                return TimerTriggerSpec(args[0], args[1])
+            if len(args) == 3:
+                return TimerTriggerSpec(args[0], args[1], args[2])
+            self._error("TIMER takes 2 or 3 arguments, got {}".format(len(args)))
+        if self._matches_keyword("FUNCTION"):
+            self._advance()
+            self._expect_op("(")
+            function_name = self._expect_identifier()
+            self._expect_op(")")
+            return FunctionTriggerSpec(function_name)
+        self._error("expected TIMER(...) or FUNCTION(...)")
+
+    def _parse_rule(self):
+        return RuleSpec(self.parse_expression())
+
+    def _parse_action(self):
+        token = self._peek()
+        if token.kind != "keyword":
+            self._error(
+                "expected REPORT, REPLACE, RETRAIN, DEPRIORITIZE, or SAVE, found {!r}"
+                .format(token.value)
+            )
+        word = token.value
+        if word == "REPORT":
+            self._advance()
+            self._expect_op("(")
+            args = [] if self._matches_op(")") else self._parse_list(self.parse_expression)
+            self._expect_op(")")
+            return ReportSpec(args)
+        if word == "REPLACE":
+            self._advance()
+            self._expect_op("(")
+            old = self._expect_identifier()
+            self._expect_op(",")
+            new = self._expect_identifier()
+            self._expect_op(")")
+            return ReplaceSpec(old, new)
+        if word == "RETRAIN":
+            self._advance()
+            self._expect_op("(")
+            model = self._expect_identifier()
+            input_expr = None
+            if self._consume_op_if(","):
+                input_expr = self.parse_expression()
+            self._expect_op(")")
+            return RetrainSpec(model, input_expr)
+        if word == "DEPRIORITIZE":
+            self._advance()
+            self._expect_op("(")
+            self._expect_op("{")
+            targets = self._parse_list(self._expect_identifier)
+            self._expect_op("}")
+            self._expect_op(",")
+            self._expect_op("{")
+            priorities = self._parse_list(self.parse_expression)
+            self._expect_op("}")
+            self._expect_op(")")
+            return DeprioritizeSpec(targets, priorities)
+        if word == "SAVE":
+            self._advance()
+            self._expect_op("(")
+            key = self._expect_identifier()
+            self._expect_op(",")
+            expression = self.parse_expression()
+            self._expect_op(")")
+            return SaveSpec(key, expression)
+        self._error("unknown action {!r}".format(word))
+
+    def _parse_aggregate(self, token):
+        """``AVG(key, window)`` / ``RATE(key, window)`` / ``EWMA(key, alpha)``
+        / ``P50|P95|P99(key)`` — parameters must be positive constants."""
+        function = token.value
+        self._advance()
+        self._expect_op("(")
+        key = self._expect_identifier()
+        arg = None
+        if self._consume_op_if(","):
+            arg_token = self._peek()
+            if arg_token.kind != "number":
+                self._error("{} parameter must be a numeric constant".format(
+                    function))
+            self._advance()
+            arg = arg_token.value
+        self._expect_op(")")
+        if function in Aggregate.PLAIN:
+            if arg is not None:
+                self._error("{} takes no parameter".format(function))
+        elif arg is None:
+            self._error("{} needs a parameter (window or alpha)".format(function))
+        elif function in Aggregate.WINDOWED and arg <= 0:
+            self._error("{} window must be positive".format(function))
+        elif function in Aggregate.ALPHA and not 0.0 < arg <= 1.0:
+            self._error("EWMA alpha must be in (0, 1]")
+        return Aggregate(function, key, arg)
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    def parse_expression(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._matches_op("||") or self._matches_keyword("or"):
+            self._advance()
+            left = BinaryOp("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self._matches_op("&&") or self._matches_keyword("and"):
+            self._advance()
+            left = BinaryOp("&&", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self._matches_op("!") or self._matches_keyword("not"):
+            self._advance()
+            return UnaryOp("!", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        if self._matches_op("<", "<=", ">", ">=", "==", "!="):
+            op = self._advance().value
+            right = self._parse_additive()
+            return BinaryOp(op, left, right)
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while self._matches_op("+", "-"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while self._matches_op("*", "/"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self):
+        if self._matches_op("-"):
+            self._advance()
+            return UnaryOp("-", self._parse_unary())
+        # '!' is usually consumed at the logical level (_parse_not), but it
+        # is also legal on a tightly-bound operand, e.g. `1 + !(flag)` —
+        # keeps printed ASTs reparseable.
+        if self._matches_op("!") or self._matches_keyword("not"):
+            self._advance()
+            return UnaryOp("!", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return NumberLiteral(token.value)
+        if token.kind == "string":
+            self._advance()
+            return StringLiteral(token.value)
+        if token.kind == "keyword" and token.value in ("true", "false"):
+            self._advance()
+            return BoolLiteral(token.value == "true")
+        if token.kind == "keyword" and token.value == "LOAD":
+            self._advance()
+            self._expect_op("(")
+            key = self._expect_identifier()
+            self._expect_op(")")
+            return Load(key)
+        if token.kind == "keyword" and token.value in Aggregate.FUNCTIONS:
+            return self._parse_aggregate(token)
+        if token.kind == "ident":
+            self._advance()
+            if self._matches_op("("):
+                if token.value not in _BUILTIN_FUNCTIONS:
+                    raise ParseError(
+                        "unknown function {!r}; builtins are {}".format(
+                            token.value, ", ".join(sorted(_BUILTIN_FUNCTIONS))
+                        ),
+                        token.line, token.column,
+                    )
+                self._advance()
+                args = [] if self._matches_op(")") else self._parse_list(self.parse_expression)
+                self._expect_op(")")
+                return Call(token.value, args)
+            return Name(token.value)
+        if self._matches_op("("):
+            self._advance()
+            inner = self.parse_expression()
+            self._expect_op(")")
+            return inner
+        self._error("expected an expression, found {!r}".format(token.value))
+
+
+def parse_guardrail(text):
+    """Parse exactly one guardrail block from DSL ``text``."""
+    parser = _Parser(tokenize(text))
+    spec = parser.parse_guardrail()
+    if not parser._at_eof():
+        parser._error("trailing input after guardrail block")
+    return spec
+
+
+def parse_guardrails(text):
+    """Parse zero or more guardrail blocks (a guardrail 'file')."""
+    return _Parser(tokenize(text)).parse_all()

@@ -1,0 +1,124 @@
+"""Semantic validation of parsed guardrail specs.
+
+The parser guarantees shape; the validator enforces the constraints of the
+Listing 1 grammar that are not purely syntactic:
+
+- a guardrail has at least one trigger, one rule, and one action
+  (``<Property> ::= (<Trigger>)+ (<Rule>)+`` and ``(<Action>)+``);
+- TIMER intervals are positive constants and stop > start when both given;
+- rules are boolean-valued expressions (top level is a comparison, boolean
+  literal, logical connective, or a LOAD of a presumed-boolean key);
+- DEPRIORITIZE target and priority lists have matching lengths.
+"""
+
+from repro.core.errors import SpecError
+from repro.core.spec import ast as A
+
+
+def validate_spec(spec):
+    """Raise :class:`SpecError` when ``spec`` violates grammar semantics."""
+    if not spec.triggers:
+        raise SpecError("guardrail {!r} has no triggers (need at least one)".format(spec.name))
+    if not spec.rules:
+        raise SpecError("guardrail {!r} has no rules (need at least one)".format(spec.name))
+    if not spec.actions:
+        raise SpecError("guardrail {!r} has no actions (need at least one)".format(spec.name))
+    for trigger in spec.triggers:
+        _validate_trigger(spec.name, trigger)
+    for rule in spec.rules:
+        _validate_rule(spec.name, rule)
+    for action in spec.actions:
+        _validate_action(spec.name, action)
+    return spec
+
+
+def _validate_trigger(name, trigger):
+    if isinstance(trigger, A.TimerTriggerSpec):
+        interval = _constant_value(trigger.interval)
+        if interval is not None and interval <= 0:
+            raise SpecError(
+                "guardrail {!r}: TIMER interval must be positive, got {}".format(
+                    name, interval
+                )
+            )
+        start = _constant_value(trigger.start)
+        stop = _constant_value(trigger.stop) if trigger.stop is not None else None
+        if start is not None and start < 0:
+            raise SpecError(
+                "guardrail {!r}: TIMER start must be >= 0, got {}".format(name, start)
+            )
+        if start is not None and stop is not None and stop <= start:
+            raise SpecError(
+                "guardrail {!r}: TIMER stop ({}) must be after start ({})".format(
+                    name, stop, start
+                )
+            )
+    elif isinstance(trigger, A.FunctionTriggerSpec):
+        if not trigger.function_name:
+            raise SpecError("guardrail {!r}: FUNCTION trigger needs a name".format(name))
+    else:
+        raise SpecError("guardrail {!r}: unknown trigger {!r}".format(name, trigger))
+
+
+def _validate_rule(name, rule):
+    expr = rule.expression
+    if not _is_boolean_expression(expr):
+        raise SpecError(
+            "guardrail {!r}: rule {!r} is not boolean-valued "
+            "(expected a comparison or logical expression)".format(
+                name, expr.to_source()
+            )
+        )
+
+
+_BOOLEAN_OPS = {"<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+
+
+def _is_boolean_expression(expr):
+    if isinstance(expr, A.BoolLiteral):
+        return True
+    if isinstance(expr, A.BinaryOp):
+        return expr.op in _BOOLEAN_OPS
+    if isinstance(expr, A.UnaryOp):
+        return expr.op == "!"
+    if isinstance(expr, (A.Load, A.Name)):
+        # A bare LOAD(flag) / name is allowed as "is truthy".
+        return True
+    return False
+
+
+def _validate_action(name, action):
+    if isinstance(action, A.DeprioritizeSpec):
+        if not action.targets:
+            raise SpecError(
+                "guardrail {!r}: DEPRIORITIZE needs at least one target".format(name)
+            )
+        if len(action.targets) != len(action.priorities):
+            raise SpecError(
+                "guardrail {!r}: DEPRIORITIZE has {} targets but {} priorities".format(
+                    name, len(action.targets), len(action.priorities)
+                )
+            )
+    elif isinstance(action, A.ReplaceSpec):
+        if action.old_function == action.new_function:
+            raise SpecError(
+                "guardrail {!r}: REPLACE target and fallback are both {!r}".format(
+                    name, action.old_function
+                )
+            )
+    elif not isinstance(
+        action, (A.ReportSpec, A.RetrainSpec, A.SaveSpec)
+    ):
+        raise SpecError("guardrail {!r}: unknown action {!r}".format(name, action))
+
+
+def _constant_value(expr):
+    """Value of a constant expression, or None when it is not constant."""
+    if expr is None:
+        return None
+    if isinstance(expr, A.NumberLiteral):
+        return expr.value
+    if isinstance(expr, A.UnaryOp) and expr.op == "-":
+        inner = _constant_value(expr.operand)
+        return None if inner is None else -inner
+    return None

@@ -1,0 +1,109 @@
+"""Automated guardrail synthesis from policy metadata (§3.3).
+
+"For learned policies, many of these can be determined automatically, e.g.,
+the performance metric to track can be extracted from the reward function."
+
+A policy declares a :class:`PolicyManifest` — its reward metric, legal
+output bounds, fallback, and instrumentation — and
+:func:`synthesize_guardrails` expands it into the applicable P1/P2/P4/P5
+guardrail specs without the developer writing any DSL.  Thresholds that
+need system knowledge can be left relaxed and handed to the auto-tightener
+(:mod:`repro.core.tightening`).
+"""
+
+from repro.core.properties import (
+    decision_overhead,
+    decision_quality,
+    in_distribution,
+    output_bounds,
+    robustness,
+)
+from repro.sim.units import SECOND
+
+
+class PolicyManifest:
+    """Everything the synthesizer needs to know about one learned policy.
+
+    Parameters mirror what a training pipeline knows anyway:
+
+    - ``name`` — the instrumentation prefix (``<name>.*`` store keys);
+    - ``reward_key`` / ``baseline_key`` — the metric the reward function
+      optimizes and the baseline to compare against (P4); ``higher_is_better``
+      orients the comparison;
+    - ``slot`` / ``fallback`` — the function slot the policy occupies and
+      the registered safe implementation (A2 target);
+    - ``model`` — the retrain-queue model name (A3 target);
+    - ``has_input_tracker`` / ``has_sensitivity_probe`` — which
+      instrumentation the policy wrapper enabled (P1 / P2);
+    - ``bounds_hook`` / ``bounds_rule`` — an output-bounds check site (P3).
+    """
+
+    def __init__(self, name, slot=None, fallback=None, model=None,
+                 reward_key=None, baseline_key=None, higher_is_better=True,
+                 quality_margin=0.0, has_input_tracker=False,
+                 has_sensitivity_probe=False, sensitivity_threshold=1.0,
+                 bounds_hook=None, bounds_rule=None,
+                 check_interval=1 * SECOND):
+        self.name = name
+        self.slot = slot
+        self.fallback = fallback
+        self.model = model or name
+        self.reward_key = reward_key
+        self.baseline_key = baseline_key
+        self.higher_is_better = higher_is_better
+        self.quality_margin = quality_margin
+        self.has_input_tracker = has_input_tracker
+        self.has_sensitivity_probe = has_sensitivity_probe
+        self.sensitivity_threshold = sensitivity_threshold
+        self.bounds_hook = bounds_hook
+        self.bounds_rule = bounds_rule
+        self.check_interval = check_interval
+
+
+def synthesize_guardrails(manifest):
+    """Expand a manifest into guardrail DSL texts, keyed by property id."""
+    specs = {}
+    interval = manifest.check_interval
+
+    if manifest.has_input_tracker:
+        specs["P1"] = in_distribution(
+            manifest.name, interval=interval, model=manifest.model
+        )
+
+    if manifest.has_sensitivity_probe:
+        specs["P2"] = robustness(
+            manifest.name,
+            sensitivity_threshold=manifest.sensitivity_threshold,
+            interval=interval,
+            model=manifest.model,
+        )
+
+    if manifest.bounds_hook and manifest.bounds_rule:
+        if not (manifest.slot and manifest.fallback):
+            raise ValueError(
+                "manifest {!r}: output bounds need slot and fallback for "
+                "the REPLACE action".format(manifest.name)
+            )
+        specs["P3"] = output_bounds(
+            manifest.name, manifest.bounds_hook, manifest.bounds_rule,
+            manifest.slot, manifest.fallback,
+        )
+
+    if manifest.reward_key and manifest.baseline_key:
+        metric, baseline = manifest.reward_key, manifest.baseline_key
+        if not manifest.higher_is_better:
+            # decision_quality checks metric >= baseline - margin; for
+            # lower-is-better rewards, swap the operands.
+            metric, baseline = baseline, metric
+        specs["P4"] = decision_quality(
+            manifest.name, metric, baseline,
+            margin=manifest.quality_margin, interval=interval,
+            fallback_slot=manifest.slot, fallback_impl=manifest.fallback,
+        )
+
+    # P5 is always applicable: the instrumentation meter is unconditional.
+    specs["P5"] = decision_overhead(
+        manifest.name, interval=interval,
+        fallback_slot=manifest.slot, fallback_impl=manifest.fallback,
+    )
+    return specs

@@ -1,0 +1,94 @@
+"""Auto-tightening of relaxed properties (§3.3).
+
+"OS practitioners may find it better to deploy guardrails with relaxed
+properties and automatically tighten the properties based on system
+behavior."
+
+An :class:`AutoTightener` watches the feature-store key a rule constrains,
+collects its steady-state behavior, and periodically recompiles the
+guardrail (via ``GuardrailManager.update`` — no reboot) with a threshold
+set just above the observed quantile.  The guardrail starts permissive and
+converges to a tight envelope around normal behavior; a later regression
+that would have hidden under the relaxed threshold now violates promptly.
+"""
+
+import math
+
+from repro.detect.quantiles import P2Quantile
+
+
+class AutoTightener:
+    """Tightens one upper-bound threshold toward observed behavior.
+
+    ``spec_builder(threshold)`` must return the guardrail (DSL text or
+    spec) parameterized by the threshold — typically a property template
+    call wrapped in a lambda.
+
+    The threshold never tightens below ``floor`` and, being an envelope, it
+    only ever decreases (for upper bounds).  ``quantile`` and ``margin``
+    trade detection latency against false positives.
+    """
+
+    def __init__(self, manager, guardrail_name, key, spec_builder,
+                 initial_threshold, interval, quantile=0.99, margin=1.5,
+                 floor=0.0, min_samples=50):
+        self.manager = manager
+        self.guardrail_name = guardrail_name
+        self.key = key
+        self.spec_builder = spec_builder
+        self.threshold = initial_threshold
+        self.interval = interval
+        self.quantile = quantile
+        self.margin = margin
+        self.floor = floor
+        self.min_samples = min_samples
+        self._estimator = P2Quantile(quantile)
+        self._sample_count = 0
+        self._unsubscribe = None
+        self._timer = None
+        self.tighten_count = 0
+        self.history = [(0, initial_threshold)]
+
+    def start(self):
+        """Load the relaxed guardrail and begin observing."""
+        host = self.manager.host
+        self.manager.load(self.spec_builder(self.threshold))
+        self._unsubscribe = host.store.subscribe(self._on_change)
+        self._timer = host.engine.schedule(self.interval, self._tick)
+        return self
+
+    def stop(self):
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_change(self, key, value, now):
+        if key != self.key or not isinstance(value, (int, float)):
+            return
+        if isinstance(value, float) and math.isnan(value):
+            return
+        self._estimator.update(float(value))
+        self._sample_count += 1
+
+    def _tick(self):
+        self._timer = None
+        self._maybe_tighten()
+        host = self.manager.host
+        self._timer = host.engine.schedule(self.interval, self._tick)
+
+    def _maybe_tighten(self):
+        if self._sample_count < self.min_samples:
+            return
+        estimate = self._estimator.value
+        if isinstance(estimate, float) and math.isnan(estimate):
+            return
+        candidate = max(estimate * self.margin, self.floor)
+        if candidate >= self.threshold:
+            return  # envelope only shrinks
+        self.threshold = candidate
+        self.tighten_count += 1
+        self.history.append((self.manager.host.engine.now, candidate))
+        self.manager.update(self.spec_builder(candidate))

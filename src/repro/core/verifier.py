@@ -1,0 +1,149 @@
+"""Static verification of compiled guardrails.
+
+The paper compiles guardrails into monitors that run *inside the kernel* —
+which is only acceptable if their cost is provably bounded before loading,
+exactly the role the eBPF verifier plays.  Our verifier enforces:
+
+- per-rule and total instruction budgets (rule trees are loop-free, so
+  ``static_cost`` is an exact worst case);
+- a cap on the number of triggers, rules, and actions;
+- a minimum TIMER interval, bounding the steady-state check *rate*;
+- a stricter inline budget for FUNCTION-triggered rules, whose rate is
+  workload-controlled and therefore unbounded;
+- a bounded estimated overhead rate (ops/second) for TIMER-driven checks.
+
+Rejection raises :class:`VerifierError` with the failed constraint spelled
+out, and the monitor is never loaded.
+"""
+
+from repro.core.errors import VerifierError
+from repro.core.spec import ast as A
+
+
+class VerifierConfig:
+    """Budgets; defaults chosen to comfortably admit the paper's examples."""
+
+    def __init__(self, max_rule_cost=512, max_total_cost=4096,
+                 max_inline_rule_cost=64, max_triggers=8, max_rules=16,
+                 max_actions=8, min_timer_interval=1_000_000,
+                 max_ops_per_second=1_000_000):
+        self.max_rule_cost = max_rule_cost
+        self.max_total_cost = max_total_cost
+        self.max_inline_rule_cost = max_inline_rule_cost
+        self.max_triggers = max_triggers
+        self.max_rules = max_rules
+        self.max_actions = max_actions
+        self.min_timer_interval = min_timer_interval  # ns; default 1ms
+        self.max_ops_per_second = max_ops_per_second
+
+
+class VerificationResult:
+    """What the verifier proved about an admitted guardrail."""
+
+    def __init__(self, name, rule_costs, total_cost, estimated_ops_per_second):
+        self.name = name
+        self.rule_costs = list(rule_costs)
+        self.total_cost = total_cost
+        self.estimated_ops_per_second = estimated_ops_per_second
+
+    def __repr__(self):
+        return "VerificationResult({!r}, total_cost={}, ops/s<={:.0f})".format(
+            self.name, self.total_cost, self.estimated_ops_per_second
+        )
+
+
+def verify(spec, rule_costs, timer_intervals, has_function_trigger,
+           config=None):
+    """Check one guardrail against the budgets; raise or return a result.
+
+    ``rule_costs`` are the static costs of each compiled rule,
+    ``timer_intervals`` the intervals (ns) of the TIMER triggers, and
+    ``has_function_trigger`` whether any FUNCTION trigger is present.
+    """
+    config = config if config is not None else VerifierConfig()
+    _check_counts(spec, config)
+
+    for rule, cost in zip(spec.rules, rule_costs):
+        if cost > config.max_rule_cost:
+            raise VerifierError(
+                "guardrail {!r}: rule {!r} costs {} ops, budget is {}".format(
+                    spec.name, rule.to_source(), cost, config.max_rule_cost
+                )
+            )
+        if has_function_trigger and cost > config.max_inline_rule_cost:
+            raise VerifierError(
+                "guardrail {!r}: rule {!r} costs {} ops, too expensive for a "
+                "FUNCTION trigger (inline budget {})".format(
+                    spec.name, rule.to_source(), cost, config.max_inline_rule_cost
+                )
+            )
+
+    total_cost = sum(rule_costs)
+    if total_cost > config.max_total_cost:
+        raise VerifierError(
+            "guardrail {!r}: total rule cost {} exceeds budget {}".format(
+                spec.name, total_cost, config.max_total_cost
+            )
+        )
+
+    ops_per_second = 0.0
+    for interval in timer_intervals:
+        if interval < config.min_timer_interval:
+            raise VerifierError(
+                "guardrail {!r}: TIMER interval {} ns is below the minimum {} ns"
+                .format(spec.name, interval, config.min_timer_interval)
+            )
+        ops_per_second += total_cost * (1e9 / interval)
+    if ops_per_second > config.max_ops_per_second:
+        raise VerifierError(
+            "guardrail {!r}: estimated {:.0f} ops/s exceeds the budget {}".format(
+                spec.name, ops_per_second, config.max_ops_per_second
+            )
+        )
+
+    _check_actions(spec, config)
+    return VerificationResult(spec.name, rule_costs, total_cost, ops_per_second)
+
+
+def _check_counts(spec, config):
+    if len(spec.triggers) > config.max_triggers:
+        raise VerifierError(
+            "guardrail {!r}: {} triggers, max is {}".format(
+                spec.name, len(spec.triggers), config.max_triggers
+            )
+        )
+    if len(spec.rules) > config.max_rules:
+        raise VerifierError(
+            "guardrail {!r}: {} rules, max is {}".format(
+                spec.name, len(spec.rules), config.max_rules
+            )
+        )
+    if len(spec.actions) > config.max_actions:
+        raise VerifierError(
+            "guardrail {!r}: {} actions, max is {}".format(
+                spec.name, len(spec.actions), config.max_actions
+            )
+        )
+
+
+def _check_actions(spec, config):
+    # Action arguments must be constant or bounded expressions — they run on
+    # the violation path and must also have bounded cost.
+    from repro.core.expr import static_cost
+
+    for action in spec.actions:
+        if isinstance(action, A.SaveSpec):
+            cost = static_cost(action.expression)
+        elif isinstance(action, A.ReportSpec):
+            cost = sum(static_cost(arg) for arg in action.args)
+        elif isinstance(action, A.RetrainSpec) and action.input_expr is not None:
+            cost = static_cost(action.input_expr)
+        elif isinstance(action, A.DeprioritizeSpec):
+            cost = sum(static_cost(p) for p in action.priorities)
+        else:
+            cost = 0
+        if cost > config.max_rule_cost:
+            raise VerifierError(
+                "guardrail {!r}: action {} argument cost {} exceeds budget {}"
+                .format(spec.name, action.kind, cost, config.max_rule_cost)
+            )

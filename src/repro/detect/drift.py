@@ -1,0 +1,96 @@
+"""Distribution drift metrics over histograms.
+
+The paper's P1 property says model output should be used only while inputs
+stay in-distribution, checked by "tracking statistical properties of the
+input features (range, quartiles, etc.) and periodically ensuring they match
+training data".  These functions implement those checks over
+:class:`repro.detect.histogram.Histogram` pairs.
+"""
+
+import math
+
+
+def population_stability_index(reference, live):
+    """PSI between a reference histogram and a live histogram.
+
+    PSI < 0.1 is conventionally "no shift", 0.1-0.25 "moderate", > 0.25
+    "major shift".
+    """
+    _require_compatible(reference, live)
+    psi = 0.0
+    for p_ref, p_live in zip(reference.proportions(), live.proportions()):
+        psi += (p_live - p_ref) * math.log(p_live / p_ref)
+    return psi
+
+
+def ks_statistic(reference, live):
+    """Kolmogorov–Smirnov statistic (max CDF gap) between two histograms."""
+    _require_compatible(reference, live)
+    return max(abs(a - b) for a, b in zip(reference.cdf(), live.cdf()))
+
+
+def range_violation_fraction(live):
+    """Fraction of live samples outside the reference [lo, hi] range."""
+    return live.out_of_range_fraction()
+
+
+def quartile_shift(reference_quartiles, live_quartiles, scale):
+    """Largest absolute quartile shift, normalized by ``scale``.
+
+    ``reference_quartiles`` / ``live_quartiles`` are (q25, q50, q75) tuples;
+    ``scale`` is typically the reference IQR so the result is unit-free.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive, got {}".format(scale))
+    return max(
+        abs(live - ref) / scale
+        for ref, live in zip(reference_quartiles, live_quartiles)
+    )
+
+
+class DriftReport:
+    """Bundle of drift metrics for one feature, with a single verdict."""
+
+    def __init__(self, feature, psi, ks, out_of_range, psi_threshold=0.25,
+                 ks_threshold=0.2, range_threshold=0.05):
+        self.feature = feature
+        self.psi = psi
+        self.ks = ks
+        self.out_of_range = out_of_range
+        self.psi_threshold = psi_threshold
+        self.ks_threshold = ks_threshold
+        self.range_threshold = range_threshold
+
+    @property
+    def drifted(self):
+        return (
+            self.psi > self.psi_threshold
+            or self.ks > self.ks_threshold
+            or self.out_of_range > self.range_threshold
+        )
+
+    @classmethod
+    def from_histograms(cls, feature, reference, live, **thresholds):
+        return cls(
+            feature,
+            psi=population_stability_index(reference, live),
+            ks=ks_statistic(reference, live),
+            out_of_range=range_violation_fraction(live),
+            **thresholds,
+        )
+
+    def __repr__(self):
+        return (
+            "DriftReport({!r}, psi={:.4f}, ks={:.4f}, oor={:.4f}, drifted={})"
+            .format(self.feature, self.psi, self.ks, self.out_of_range, self.drifted)
+        )
+
+
+def _require_compatible(reference, live):
+    if not reference.compatible_with(live):
+        raise ValueError(
+            "histograms are not comparable: [{}, {}]x{} vs [{}, {}]x{}".format(
+                reference.lo, reference.hi, reference.bins,
+                live.lo, live.hi, live.bins,
+            )
+        )

@@ -1,0 +1,99 @@
+"""P² streaming quantile estimation (Jain & Chlamtac, 1985).
+
+Tracks one quantile with five markers in O(1) memory — the right tool for
+in-kernel percentile tracking where storing all samples is out of the
+question.
+"""
+
+import math
+
+
+class P2Quantile:
+    """Streaming estimate of the ``q`` quantile (0 < q < 1)."""
+
+    def __init__(self, q):
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1), got {}".format(q))
+        self.q = q
+        self._initial = []
+        self._heights = None
+        self._positions = None
+        self._desired = None
+        self._increments = None
+        self.count = 0
+
+    def update(self, value):
+        """Add a sample; returns the current estimate (NaN until 5 samples)."""
+        self.count += 1
+        if self._heights is None:
+            self._initial.append(float(value))
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+                self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+            return self.value
+
+        h = self._heights
+        if value < h[0]:
+            h[0] = float(value)
+            k = 0
+        elif value >= h[4]:
+            h[4] = float(value)
+            k = 3
+        else:
+            k = 0
+            for i in range(1, 4):
+                if value < h[i]:
+                    k = i - 1
+                    break
+            else:
+                k = 3
+
+        for i in range(k + 1, 5):
+            self._positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in range(1, 4):
+            d = self._desired[i] - self._positions[i]
+            n = self._positions
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (d <= -1.0 and n[i - 1] - n[i] < -1.0):
+                d = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, d)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, d)
+                n[i] += d
+        return self.value
+
+    def _parabolic(self, i, d):
+        h, n = self._heights, self._positions
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i, d):
+        h, n = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self):
+        """Current quantile estimate; NaN before five samples arrive."""
+        if self._heights is not None:
+            return self._heights[2]
+        if not self._initial:
+            return math.nan
+        ordered = sorted(self._initial)
+        rank = self.q * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac

@@ -1,0 +1,190 @@
+"""Constant-memory streaming estimators."""
+
+import collections
+import math
+
+
+class MovingAverage:
+    """Trailing moving average over the last ``window`` samples."""
+
+    def __init__(self, window):
+        if window < 1:
+            raise ValueError("window must be >= 1, got {}".format(window))
+        self.window = window
+        self._buf = collections.deque()
+        self._sum = 0.0
+
+    def update(self, value):
+        """Add a sample and return the current average."""
+        self._buf.append(value)
+        self._sum += value
+        if len(self._buf) > self.window:
+            self._sum -= self._buf.popleft()
+        return self.value
+
+    @property
+    def value(self):
+        if not self._buf:
+            return math.nan
+        return self._sum / len(self._buf)
+
+    @property
+    def count(self):
+        return len(self._buf)
+
+    def reset(self):
+        self._buf.clear()
+        self._sum = 0.0
+
+
+class Ewma:
+    """Exponentially weighted moving average with smoothing factor ``alpha``."""
+
+    def __init__(self, alpha):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1], got {}".format(alpha))
+        self.alpha = alpha
+        self._value = None
+
+    def update(self, value):
+        if self._value is None:
+            self._value = float(value)
+        else:
+            self._value = self.alpha * value + (1.0 - self.alpha) * self._value
+        return self._value
+
+    @property
+    def value(self):
+        return math.nan if self._value is None else self._value
+
+    def reset(self):
+        self._value = None
+
+
+class MeanVariance:
+    """Welford's online mean/variance."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value):
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        return self._mean
+
+    @property
+    def mean(self):
+        return math.nan if self.count == 0 else self._mean
+
+    @property
+    def variance(self):
+        """Sample variance (n-1 denominator); NaN until two samples."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self):
+        v = self.variance
+        return math.nan if math.isnan(v) else math.sqrt(v)
+
+    def merge(self, other):
+        """Combine with another estimator (parallel Welford merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        return self
+
+    def reset(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+
+class WindowedMean:
+    """Mean of samples observed within a trailing *time* window.
+
+    The estimator backing properties phrased as "the average X over every
+    N seconds": samples carry the caller's virtual-time stamps and age out
+    of the window on each query.
+    """
+
+    def __init__(self, window):
+        if window <= 0:
+            raise ValueError("window must be positive, got {}".format(window))
+        self.window = window
+        self._samples = collections.deque()  # (time, value)
+        self._sum = 0.0
+
+    def observe(self, time, value):
+        self._samples.append((time, float(value)))
+        self._sum += value
+        self._evict(time)
+
+    def _evict(self, now):
+        cutoff = now - self.window
+        while self._samples and self._samples[0][0] <= cutoff:
+            _, old = self._samples.popleft()
+            self._sum -= old
+
+    def mean(self, now):
+        """Mean over the window; NaN when no samples remain."""
+        self._evict(now)
+        if not self._samples:
+            return math.nan
+        return self._sum / len(self._samples)
+
+    def count(self, now):
+        self._evict(now)
+        return len(self._samples)
+
+
+class RateCounter:
+    """Events-per-window rate over a trailing time window.
+
+    Used for properties like "false-submit rate over the last second".
+    Timestamps are the caller's virtual-time integers; the counter evicts
+    events older than ``window`` on every query.
+    """
+
+    def __init__(self, window):
+        if window <= 0:
+            raise ValueError("window must be positive, got {}".format(window))
+        self.window = window
+        self._events = collections.deque()  # (time, hit: bool)
+
+    def observe(self, time, hit):
+        """Record one event at ``time``; ``hit`` marks the numerator."""
+        self._events.append((time, bool(hit)))
+        self._evict(time)
+
+    def _evict(self, now):
+        cutoff = now - self.window
+        while self._events and self._events[0][0] <= cutoff:
+            self._events.popleft()
+
+    def rate(self, now):
+        """Fraction of events in the window that were hits (0.0 when empty)."""
+        self._evict(now)
+        if not self._events:
+            return 0.0
+        hits = sum(1 for _, h in self._events if h)
+        return hits / len(self._events)
+
+    def count(self, now):
+        """Total events currently inside the window."""
+        self._evict(now)
+        return len(self._events)

@@ -1,0 +1,106 @@
+"""Sliding and tumbling sample windows."""
+
+import collections
+import math
+
+
+class SlidingWindow:
+    """The last ``size`` samples, with cheap summary statistics."""
+
+    def __init__(self, size):
+        if size < 1:
+            raise ValueError("size must be >= 1, got {}".format(size))
+        self.size = size
+        self._buf = collections.deque(maxlen=size)
+
+    def update(self, value):
+        self._buf.append(value)
+
+    def __len__(self):
+        return len(self._buf)
+
+    @property
+    def full(self):
+        return len(self._buf) == self.size
+
+    def values(self):
+        return list(self._buf)
+
+    def mean(self):
+        if not self._buf:
+            return math.nan
+        return sum(self._buf) / len(self._buf)
+
+    def min(self):
+        return math.nan if not self._buf else min(self._buf)
+
+    def max(self):
+        return math.nan if not self._buf else max(self._buf)
+
+    def variance(self):
+        n = len(self._buf)
+        if n < 2:
+            return math.nan
+        mean = self.mean()
+        return sum((v - mean) ** 2 for v in self._buf) / (n - 1)
+
+    def quartiles(self):
+        """(q25, q50, q75) of the current window, NaNs when empty."""
+        if not self._buf:
+            return (math.nan, math.nan, math.nan)
+        ordered = sorted(self._buf)
+        return tuple(_percentile(ordered, q) for q in (25, 50, 75))
+
+    def fraction(self, predicate):
+        """Fraction of window samples satisfying ``predicate``."""
+        if not self._buf:
+            return 0.0
+        return sum(1 for v in self._buf if predicate(v)) / len(self._buf)
+
+    def reset(self):
+        self._buf.clear()
+
+
+class TumblingWindow:
+    """Accumulates samples, then rotates: each ``close()`` starts fresh.
+
+    Matches properties phrased as "over every 10 seconds": the monitor feeds
+    samples continuously and calls ``close()`` on its TIMER tick, getting
+    back the summary of the completed window.
+    """
+
+    def __init__(self):
+        self._values = []
+        self.closed_windows = 0
+
+    def update(self, value):
+        self._values.append(value)
+
+    def __len__(self):
+        return len(self._values)
+
+    def close(self):
+        """Finish the current window; returns a summary dict."""
+        values = self._values
+        self._values = []
+        self.closed_windows += 1
+        if not values:
+            return {"count": 0, "mean": math.nan, "min": math.nan, "max": math.nan}
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }
+
+
+def _percentile(ordered, q):
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

@@ -1,0 +1,14 @@
+"""Simulated OS kernel subsystems.
+
+The substitution for "runs inside the Linux kernel": a discrete-event kernel
+with the subsystems the paper's examples need — replicated flash storage
+(LinnOS, §5), memory management (P3, huge pages, tiered memory), CPU
+scheduling (P6), a cache (P4), and a congestion-controlled link (P2).  Each
+subsystem exposes kprobe-style hook points and publishes its metrics to the
+global feature store, which is exactly the surface guardrail monitors
+attach to.
+"""
+
+from repro.kernel.base import Kernel
+
+__all__ = ["Kernel"]

@@ -1,0 +1,21 @@
+"""Memory-management substrate.
+
+Three pieces, each backing a different paper example:
+
+- :class:`~repro.kernel.mm.allocator.MemoryAllocator` — allocation with a
+  swappable preallocation-size policy; a misbehaving learned policy can
+  grant more than available memory, the paper's P3 out-of-bounds example;
+- :class:`~repro.kernel.mm.fault.PageFaultHandler` — the page-fault path
+  with a huge-page promotion decision; bad promotion decisions pay
+  compaction stalls of up to hundreds of ms (the paper's CBMM motivation),
+  watched by the §2 example property "average page-fault latency over every
+  10 s below 2 ms";
+- :class:`~repro.kernel.mm.tiered.TieredMemory` — two-tier memory with a
+  swappable placement/migration policy (background: Kleio/IDT/Sibyl).
+"""
+
+from repro.kernel.mm.allocator import MemoryAllocator
+from repro.kernel.mm.fault import PageFaultHandler
+from repro.kernel.mm.tiered import TieredMemory
+
+__all__ = ["MemoryAllocator", "PageFaultHandler", "TieredMemory"]

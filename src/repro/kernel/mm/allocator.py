@@ -1,0 +1,89 @@
+"""Page allocator with a swappable preallocation policy (P3 substrate).
+
+On every allocation request the ``mm.prealloc_size`` policy slot decides
+how many pages to actually reserve (request + readahead/preallocation,
+like fault-around or hugepage padding).  A learned sizing policy can emit
+out-of-bounds grants — more than is available, or even negative — which is
+exactly the P3 property: *outputs must be within legal bounds*.
+
+The allocator itself stays memory-safe (it clamps before applying), but it
+fires the ``mm.alloc`` hook with the raw policy output *before* clamping so
+a FUNCTION-triggered guardrail can see the illegal decision, and it counts
+clamped grants.
+"""
+
+
+def identity_prealloc():
+    """Baseline sizing policy: grant exactly what was requested."""
+
+    def policy(requested, available):
+        return requested
+
+    return policy
+
+
+class MemoryAllocator:
+    PREALLOC_SLOT = "mm.prealloc_size"
+    BASELINE_NAME = "mm.identity_prealloc"
+
+    def __init__(self, kernel, total_pages):
+        if total_pages <= 0:
+            raise ValueError("total_pages must be positive")
+        self.kernel = kernel
+        self.total_pages = total_pages
+        self.used_pages = 0
+        self.alloc_hook = kernel.hooks.declare("mm.alloc")
+        self.out_of_bounds_grants = 0
+        self.failed_allocations = 0
+        baseline = identity_prealloc()
+        if self.PREALLOC_SLOT not in kernel.functions:
+            kernel.functions.register(self.PREALLOC_SLOT, baseline)
+            kernel.functions.register_implementation(self.BASELINE_NAME, baseline)
+        kernel.store.save("mm.available_pages", self.available_pages)
+
+    @property
+    def available_pages(self):
+        return self.total_pages - self.used_pages
+
+    def allocate(self, requested):
+        """Allocate ``requested`` pages plus whatever the policy adds.
+
+        Returns the number of pages actually reserved (0 when even the bare
+        request cannot be satisfied).
+        """
+        if requested <= 0:
+            raise ValueError("requested must be positive, got {}".format(requested))
+        policy = self.kernel.functions.slot(self.PREALLOC_SLOT)
+        granted = int(policy(requested, self.available_pages))
+
+        out_of_bounds = granted > self.available_pages or granted < requested
+        if out_of_bounds:
+            self.out_of_bounds_grants += 1
+        self.kernel.store.save("mm.last_grant", granted)
+        self.kernel.store.save("mm.grant_out_of_bounds", 1 if out_of_bounds else 0)
+        self.alloc_hook.fire(
+            requested=requested,
+            granted=granted,
+            available=self.available_pages,
+            out_of_bounds=out_of_bounds,
+        )
+
+        # The kernel-side clamp: never hand out memory that does not exist,
+        # never less than the request if it fits.
+        safe_grant = max(requested, min(granted, self.available_pages))
+        if safe_grant > self.available_pages:
+            self.failed_allocations += 1
+            self.kernel.metrics.increment("mm.failed_allocations")
+            return 0
+        self.used_pages += safe_grant
+        self.kernel.store.save("mm.available_pages", self.available_pages)
+        self.kernel.metrics.increment("mm.allocations")
+        return safe_grant
+
+    def free(self, pages):
+        if pages < 0 or pages > self.used_pages:
+            raise ValueError(
+                "cannot free {} pages ({} in use)".format(pages, self.used_pages)
+            )
+        self.used_pages -= pages
+        self.kernel.store.save("mm.available_pages", self.available_pages)

@@ -1,0 +1,13 @@
+"""Congestion-control substrate (P2: robustness; background: Orca).
+
+A single bottleneck link driven in RTT epochs.  Each epoch the sender's
+rate is set by the ``net.cc_update`` policy slot from noisy observations of
+delivered throughput and loss.  The AIMD baseline is the known-safe
+fallback; a learned controller can be noise-sensitive (P2) or collapse its
+rate and fail to recover — the misbehavior §2 describes for learned
+congestion control.
+"""
+
+from repro.kernel.net.link import BottleneckLink, aimd_controller
+
+__all__ = ["BottleneckLink", "aimd_controller"]

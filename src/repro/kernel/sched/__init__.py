@@ -1,0 +1,14 @@
+"""CPU scheduling substrate (P6: fairness and liveness).
+
+A single-CPU, timeslice-based scheduler whose pick-next decision goes
+through the swappable ``sched.pick_next`` function slot.  The CFS-like
+baseline picks minimum vruntime; a learned shortest-predicted-job-first
+policy optimizes mean turnaround but can starve long tasks — the classic
+liveness failure a P6 guardrail ("no ready task waits > 100 ms") detects,
+answered by REPLACE or DEPRIORITIZE.
+"""
+
+from repro.kernel.sched.scheduler import CpuScheduler, SchedulerTaskController
+from repro.kernel.sched.task import Task
+
+__all__ = ["CpuScheduler", "SchedulerTaskController", "Task"]

@@ -1,0 +1,80 @@
+"""Schedulable tasks."""
+
+NICE_0_WEIGHT = 1024
+
+# CFS-style weight table: each nice step is ~1.25x.
+def nice_to_weight(nice):
+    if not -20 <= nice <= 19:
+        raise ValueError("nice must be in [-20, 19], got {}".format(nice))
+    return NICE_0_WEIGHT / (1.25 ** nice)
+
+
+class Task:
+    """A CPU-bound task with a finite (or unbounded) amount of work.
+
+    ``burst_ns`` is the task's characteristic CPU burst: after running for
+    one burst the task briefly sleeps (``think_ns``) before becoming
+    runnable again, approximating interactive/batch mixes.
+    ``total_work_ns=None`` means the task runs for the whole simulation.
+    """
+
+    def __init__(self, name, burst_ns=2_000_000, think_ns=0,
+                 total_work_ns=None, nice=0):
+        self.name = name
+        self.burst_ns = burst_ns
+        self.think_ns = think_ns
+        self.total_work_ns = total_work_ns
+        self.nice = nice
+        self.weight = nice_to_weight(nice)
+
+        self.vruntime = 0.0
+        self.executed_ns = 0
+        self.runnable_since = None   # when it last became runnable (ns)
+        self.total_wait_ns = 0
+        self.max_wait_ns = 0
+        self.dispatch_count = 0
+        self.finished = False
+        self.killed = False
+        self.remaining_burst_ns = burst_ns
+        self.wait_samples = []
+
+    @property
+    def alive(self):
+        return not (self.finished or self.killed)
+
+    def set_nice(self, nice):
+        self.nice = nice
+        self.weight = nice_to_weight(nice)
+
+    def mark_runnable(self, now):
+        self.runnable_since = now
+
+    def record_dispatch(self, now):
+        """Called when the scheduler gives this task the CPU."""
+        if self.runnable_since is not None:
+            wait = now - self.runnable_since
+            self.total_wait_ns += wait
+            self.max_wait_ns = max(self.max_wait_ns, wait)
+            self.wait_samples.append(wait)
+            self.runnable_since = None
+        self.dispatch_count += 1
+
+    def account_run(self, ran_ns):
+        """Charge ``ran_ns`` of CPU; returns True when the task completed."""
+        self.executed_ns += ran_ns
+        self.vruntime += ran_ns * (1024.0 / self.weight)
+        self.remaining_burst_ns -= ran_ns
+        if self.total_work_ns is not None and self.executed_ns >= self.total_work_ns:
+            self.finished = True
+        return self.finished
+
+    def waiting_ns(self, now):
+        """How long the task has currently been waiting for the CPU."""
+        if self.runnable_since is None:
+            return 0
+        return now - self.runnable_since
+
+    def __repr__(self):
+        return "Task({!r}, nice={}, executed={}ms)".format(
+            self.name, self.nice, self.executed_ns // 1_000_000
+        )

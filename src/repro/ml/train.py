@@ -1,0 +1,123 @@
+"""Optimizers, training loops, and metrics."""
+
+import numpy as np
+
+
+class Sgd:
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, learning_rate=0.05, momentum=0.0):
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity = {}
+
+    def __call__(self, index, param, grad):
+        if self.momentum:
+            v = self._velocity.get(index)
+            if v is None:
+                v = np.zeros_like(param)
+            v = self.momentum * v - self.learning_rate * grad
+            self._velocity[index] = v
+            param += v
+        else:
+            param -= self.learning_rate * grad
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba)."""
+
+    def __init__(self, learning_rate=1e-3, beta1=0.9, beta2=0.999, eps=1e-8):
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = {}
+        self._v = {}
+        self._t = {}
+
+    def __call__(self, index, param, grad):
+        m = self._m.get(index)
+        if m is None:
+            m = np.zeros_like(param)
+            self._v[index] = np.zeros_like(param)
+            self._t[index] = 0
+        v = self._v[index]
+        self._t[index] += 1
+        t = self._t[index]
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[index] = m
+        self._v[index] = v
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def train_classifier(model, x, y, epochs=20, batch_size=64, optimizer=None,
+                     seed=0, validation=None):
+    """Minibatch-train ``model``; returns per-epoch history.
+
+    ``validation`` is an optional ``(x_val, y_val)`` pair; when given, each
+    epoch records validation accuracy too.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ValueError("x and y lengths differ: {} vs {}".format(len(x), len(y)))
+    optimizer = optimizer if optimizer is not None else Adam()
+    rng = np.random.default_rng(seed)
+    history = []
+    for epoch in range(epochs):
+        order = rng.permutation(len(x))
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, len(x), batch_size):
+            batch = order[start:start + batch_size]
+            loss, grad_w, grad_b = model.loss_and_gradients(x[batch], y[batch])
+            model.apply_gradients(grad_w, grad_b, optimizer)
+            epoch_loss += loss
+            batches += 1
+        record = {"epoch": epoch, "loss": epoch_loss / max(batches, 1)}
+        if validation is not None:
+            x_val, y_val = validation
+            record["val_accuracy"] = accuracy(model.predict_class(x_val), y_val)
+        history.append(record)
+    return history
+
+
+def accuracy(predicted, actual):
+    predicted = np.asarray(predicted)
+    actual = np.asarray(actual)
+    if predicted.shape != actual.shape:
+        raise ValueError("shape mismatch: {} vs {}".format(predicted.shape, actual.shape))
+    if predicted.size == 0:
+        return float("nan")
+    return float(np.mean(predicted == actual))
+
+
+def confusion_counts(predicted, actual):
+    """Binary confusion counts as a dict (tp, fp, tn, fn)."""
+    predicted = np.asarray(predicted).astype(bool)
+    actual = np.asarray(actual).astype(bool)
+    return {
+        "tp": int(np.sum(predicted & actual)),
+        "fp": int(np.sum(predicted & ~actual)),
+        "tn": int(np.sum(~predicted & ~actual)),
+        "fn": int(np.sum(~predicted & actual)),
+    }
+
+
+def binary_cross_entropy(probabilities, actual):
+    probabilities = np.asarray(probabilities, dtype=float).reshape(-1)
+    actual = np.asarray(actual, dtype=float).reshape(-1)
+    eps = 1e-12
+    return float(-np.mean(
+        actual * np.log(probabilities + eps)
+        + (1 - actual) * np.log(1 - probabilities + eps)
+    ))
+
+
+def mean_squared_error(predicted, actual):
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    return float(np.mean((predicted - actual) ** 2))

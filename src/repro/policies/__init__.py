@@ -1,0 +1,19 @@
+"""Learned OS policies and their heuristic baselines.
+
+One module per exemplar the paper names, each with (a) the learned policy,
+(b) the hand-coded fallback the A2 REPLACE action swaps in, and (c) the
+instrumentation that publishes the policy's inputs, outputs, and costs to
+the feature store — the surface guardrail properties are written against.
+"""
+
+from repro.policies.base import (
+    InputDistributionTracker,
+    PolicyInstrumentation,
+    SensitivityProbe,
+)
+
+__all__ = [
+    "InputDistributionTracker",
+    "PolicyInstrumentation",
+    "SensitivityProbe",
+]

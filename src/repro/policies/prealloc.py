@@ -1,0 +1,61 @@
+"""Learned preallocation sizing (P3 substrate).
+
+Predicts upcoming demand by linear extrapolation over the recent request
+sizes and grants ``request + predicted headroom``.  On steady workloads the
+extra headroom avoids repeat allocations; on bursty/adversarial request
+patterns the unclamped extrapolation produces grants beyond available
+memory — the out-of-bounds outputs that P3 catches at the ``mm.alloc``
+hook.
+
+(The missing clamp is the point: the paper's position is that learned
+policies will have such bugs, and the kernel needs a guardrail rather than
+trusting every model to clamp correctly.)
+"""
+
+import collections
+
+
+class LearnedPreallocPolicy:
+    """``policy(requested, available) -> granted`` with trend extrapolation."""
+
+    def __init__(self, window=8, horizon=4.0):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        # How far ahead (in requests) the policy provisions for.
+        self.horizon = horizon
+        self._recent = collections.deque(maxlen=window)
+        self.calls = 0
+
+    def _predicted_demand(self):
+        """Least-squares slope over the recent request sizes."""
+        n = len(self._recent)
+        if n < 2:
+            return 0.0
+        xs = range(n)
+        mean_x = (n - 1) / 2.0
+        mean_y = sum(self._recent) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, self._recent))
+        var = sum((x - mean_x) ** 2 for x in xs)
+        slope = cov / var if var else 0.0
+        latest = self._recent[-1]
+        return max(latest + slope * self.horizon, 0.0)
+
+    def __call__(self, requested, available):
+        self.calls += 1
+        self._recent.append(requested)
+        headroom = self._predicted_demand()
+        return int(requested + headroom)
+
+
+def clamped_prealloc(policy):
+    """A corrected wrapper: the same predictor, clamped into legal bounds.
+
+    Used as the REPLACE fallback when the raw learned policy violates P3.
+    """
+
+    def safe(requested, available):
+        granted = policy(requested, available)
+        return max(requested, min(granted, available))
+
+    return safe

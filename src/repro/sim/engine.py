@@ -1,0 +1,145 @@
+"""Discrete-event simulation engine.
+
+The engine owns a virtual clock (integer nanoseconds) and a priority queue of
+events.  Events scheduled for the same timestamp fire in the order they were
+scheduled (a monotonically increasing sequence number breaks ties), which
+keeps whole simulations bit-for-bit reproducible.
+
+The engine deliberately has no knowledge of kernels, policies, or guardrails;
+those are layered on top through callbacks, :mod:`repro.sim.hooks`, and
+:mod:`repro.sim.process`.
+"""
+
+import heapq
+import itertools
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are handed back from :meth:`Engine.schedule` so callers can cancel
+    them.  Cancellation is lazy: the event stays in the heap but is skipped
+    when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self):
+        """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return "Event(t={}, seq={}, {})".format(self.time, self.seq, state)
+
+
+class Engine:
+    """Event loop with a virtual nanosecond clock.
+
+    Usage::
+
+        engine = Engine()
+        engine.schedule_at(10, my_callback, arg1)
+        engine.run(until=1_000_000)
+    """
+
+    def __init__(self, seed=0):
+        self._heap = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._running = False
+        self._stopped = False
+        from repro.sim.rng import RngStreams
+
+        self.rng = RngStreams(seed)
+        self._pending = 0
+
+    @property
+    def now(self):
+        """Current virtual time in integer nanoseconds."""
+        return self._now
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule event at t={} before now={}".format(time, self._now)
+            )
+        event = Event(int(time), next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        self._pending += 1
+        return event
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise SimulationError("negative delay: {}".format(delay))
+        return self.schedule_at(self._now + int(delay), callback, *args)
+
+    def stop(self):
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def peek(self):
+        """Timestamp of the next pending event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._pending -= 1
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self):
+        """Fire the next event.  Returns ``False`` when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self._pending -= 1
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until=None):
+        """Run until the queue drains, ``stop()`` is called, or ``until`` is reached.
+
+        When ``until`` is given the clock is advanced to exactly ``until`` at
+        the end of the run, even if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = int(until)
+
+    def pending_events(self):
+        """Number of pending (not cancelled, not fired) events."""
+        return sum(1 for e in self._heap if not e.cancelled)

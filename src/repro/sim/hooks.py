@@ -1,0 +1,108 @@
+"""Kprobe-like function hooks.
+
+The paper's FUNCTION trigger attaches a guardrail check to a kernel function
+(like a kprobe).  In the simulator, subsystems declare named
+:class:`HookPoint` objects and call ``hook.fire(...)`` at the corresponding
+code location; guardrail monitors (and anything else) attach :class:`Probe`
+callbacks to those points through a :class:`HookRegistry`.
+"""
+
+
+class Probe:
+    """A callback attached to a hook point.
+
+    ``callback`` receives ``(hook_name, now, payload)`` where ``payload`` is
+    whatever dict the firing site passed.  Probes can be detached; detaching
+    is idempotent.
+    """
+
+    __slots__ = ("callback", "name", "_attached_to")
+
+    def __init__(self, callback, name="probe"):
+        self.callback = callback
+        self.name = name
+        self._attached_to = None
+
+    def detach(self):
+        if self._attached_to is not None:
+            self._attached_to._remove(self)
+            self._attached_to = None
+
+    @property
+    def attached(self):
+        return self._attached_to is not None
+
+
+class HookPoint:
+    """A named location in simulated kernel code where probes may fire."""
+
+    def __init__(self, name, engine):
+        self.name = name
+        self.engine = engine
+        self._probes = []
+        self.fire_count = 0
+
+    def attach(self, callback, name="probe"):
+        """Attach ``callback`` and return the created :class:`Probe`."""
+        probe = callback if isinstance(callback, Probe) else Probe(callback, name)
+        if probe._attached_to is not None:
+            raise ValueError("probe {!r} is already attached".format(probe.name))
+        probe._attached_to = self
+        self._probes.append(probe)
+        return probe
+
+    def _remove(self, probe):
+        try:
+            self._probes.remove(probe)
+        except ValueError:
+            pass
+
+    def fire(self, **payload):
+        """Invoke every attached probe with the call-site payload."""
+        self.fire_count += 1
+        if not self._probes:
+            return
+        now = self.engine.now
+        # Copy: a probe may detach itself (or others) while firing.
+        for probe in list(self._probes):
+            if probe._attached_to is self:
+                probe.callback(self.name, now, payload)
+
+    @property
+    def probe_count(self):
+        return len(self._probes)
+
+
+class HookRegistry:
+    """All hook points of a simulated kernel, keyed by dotted name.
+
+    Names follow a ``subsystem.function`` convention, e.g.
+    ``storage.submit_io`` or ``sched.pick_next_task``, standing in for the
+    kernel symbols a FUNCTION trigger would name.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._points = {}
+
+    def declare(self, name):
+        """Create (or return the existing) hook point called ``name``."""
+        if name not in self._points:
+            self._points[name] = HookPoint(name, self.engine)
+        return self._points[name]
+
+    def get(self, name):
+        """Look up a hook point; raises ``KeyError`` with a helpful message."""
+        try:
+            return self._points[name]
+        except KeyError:
+            known = ", ".join(sorted(self._points)) or "<none>"
+            raise KeyError(
+                "unknown hook point {!r}; declared points: {}".format(name, known)
+            ) from None
+
+    def __contains__(self, name):
+        return name in self._points
+
+    def names(self):
+        return sorted(self._points)

@@ -1,0 +1,123 @@
+"""Simulation metric recording.
+
+A :class:`MetricRecorder` collects named time series of ``(time, value)``
+samples and named counters.  It is the raw data layer the benchmarks read;
+the guardrail feature store (:mod:`repro.core.featurestore`) is a separate,
+deliberately kernel-facing abstraction.
+"""
+
+import math
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name):
+        self.name = name
+        self.times = []
+        self.values = []
+
+    def append(self, time, value):
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self):
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def mean(self):
+        if not self.values:
+            return math.nan
+        return sum(self.values) / len(self.values)
+
+    def last(self):
+        if not self.values:
+            return None
+        return self.values[-1]
+
+    def window(self, start_time, end_time):
+        """Samples with ``start_time <= t < end_time`` as a list of pairs."""
+        return [
+            (t, v) for t, v in zip(self.times, self.values) if start_time <= t < end_time
+        ]
+
+    def moving_average(self, window):
+        """Simple trailing moving average over ``window`` samples.
+
+        Returns parallel lists ``(times, averages)``, one output point per
+        input sample — the series plotted in the paper's Figure 2.
+        """
+        out_t, out_v = [], []
+        acc = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            acc += v
+            if i >= window:
+                acc -= self.values[i - window]
+                count = window
+            else:
+                count = i + 1
+            out_t.append(t)
+            out_v.append(acc / count)
+        return out_t, out_v
+
+    def percentile(self, q):
+        """The ``q``-th percentile (0..100) of all values, NaN when empty."""
+        if not self.values:
+            return math.nan
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return float(ordered[lo])
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+class MetricRecorder:
+    """Named counters and time series for one simulation run."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._series = {}
+        self._counters = {}
+
+    def record(self, name, value, time=None):
+        """Append a sample to series ``name`` at ``time`` (default: now)."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        when = self.engine.now if time is None else time
+        self._series[name].append(when, value)
+
+    def increment(self, name, amount=1):
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name):
+        return self._counters.get(name, 0)
+
+    def series(self, name):
+        """The series called ``name``; an empty one if never recorded."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def names(self):
+        return sorted(set(self._series) | set(self._counters))
+
+    def snapshot(self):
+        """Counters plus series summary stats, for reports and tests."""
+        out = {"counters": dict(self._counters), "series": {}}
+        for name, series in self._series.items():
+            out["series"][name] = {
+                "count": len(series),
+                "mean": series.mean(),
+                "p50": series.percentile(50),
+                "p99": series.percentile(99),
+            }
+        return out

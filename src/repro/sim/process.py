@@ -1,0 +1,86 @@
+"""Coroutine-style processes on top of the event engine.
+
+A process is a generator that yields *commands*:
+
+- ``yield sleep(delay)`` — suspend for ``delay`` virtual nanoseconds.
+- ``yield wait(condition)`` — suspend until ``condition.fire(value)`` is
+  called by someone else; the yielded expression evaluates to ``value``.
+
+This gives kernel subsystems (an SSD servicing a queue, a scheduler loop) a
+readable sequential style while everything still runs on one event heap.
+"""
+
+
+class _Sleep:
+    __slots__ = ("delay",)
+
+    def __init__(self, delay):
+        self.delay = delay
+
+
+class Condition:
+    """A one-shot or repeating wakeup channel between processes."""
+
+    def __init__(self):
+        self._waiters = []
+
+    def fire(self, value=None):
+        """Wake every process currently waiting on this condition."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume(value)
+
+    def _register(self, process):
+        self._waiters.append(process)
+
+    @property
+    def waiter_count(self):
+        return len(self._waiters)
+
+
+def sleep(delay):
+    """Command: suspend the yielding process for ``delay`` nanoseconds."""
+    return _Sleep(delay)
+
+
+def wait(condition):
+    """Command: suspend until ``condition.fire(value)``; yields ``value``."""
+    return condition
+
+
+class Process:
+    """Drives a generator over the engine's event loop."""
+
+    def __init__(self, engine, generator, name="process"):
+        self.engine = engine
+        self.name = name
+        self._gen = generator
+        self.finished = False
+        self.result = None
+        self.on_exit = Condition()
+        engine.schedule(0, self._resume, None)
+
+    def _resume(self, value):
+        if self.finished:
+            return
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = getattr(stop, "value", None)
+            self.on_exit.fire(self.result)
+            return
+        if isinstance(command, _Sleep):
+            self.engine.schedule(command.delay, self._resume, None)
+        elif isinstance(command, Condition):
+            command._register(self)
+        else:
+            raise TypeError(
+                "process {!r} yielded {!r}; expected sleep() or a Condition".format(
+                    self.name, command
+                )
+            )
+
+    def __repr__(self):
+        state = "finished" if self.finished else "running"
+        return "Process({!r}, {})".format(self.name, state)

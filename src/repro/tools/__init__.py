@@ -1,0 +1,1 @@
+"""Developer tools: the ``grctl`` guardrail-file utility."""

@@ -1,0 +1,143 @@
+"""``grctl`` — check, inspect, and format guardrail files.
+
+A guardrail file holds one or more ``guardrail { ... }`` blocks (the DSL of
+Listing 1).  Subcommands:
+
+- ``check``   — parse, validate, compile, and verify every guardrail;
+  exit 0 when all are loadable, 1 otherwise (CI gate for guardrail repos);
+- ``inspect`` — print each guardrail's triggers, rules with verified cost,
+  read set (the feature-store keys its rules LOAD), and actions;
+- ``fmt``     — canonically reformat the file via the AST printer.
+
+Usage::
+
+    python -m repro.tools.grctl check mygardrails.grd
+    python -m repro.tools.grctl inspect --budget-ops 128 mygardrails.grd
+    python -m repro.tools.grctl fmt --write mygardrails.grd
+"""
+
+import argparse
+import sys
+
+from repro.core.compiler import GuardrailCompiler
+from repro.core.dependency import rule_load_keys
+from repro.core.errors import GuardrailError
+from repro.core.spec import parse_guardrails
+from repro.core.verifier import VerifierConfig
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="grctl", description="check/inspect/format guardrail files")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("check", "parse + validate + compile + verify; exit 1 on failure"),
+        ("inspect", "print structure, costs, and read sets"),
+        ("fmt", "canonically reformat"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("file", help="guardrail file (use '-' for stdin)")
+        if name in ("check", "inspect"):
+            cmd.add_argument("--budget-ops", type=int, default=None,
+                             help="override the per-rule instruction budget")
+        if name == "fmt":
+            cmd.add_argument("--write", action="store_true",
+                             help="rewrite the file in place")
+    return parser
+
+
+def _read(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _compiler(args):
+    config = VerifierConfig()
+    if getattr(args, "budget_ops", None) is not None:
+        config.max_rule_cost = args.budget_ops
+    return GuardrailCompiler(verifier_config=config)
+
+
+def cmd_check(args, out):
+    text = _read(args.file)
+    try:
+        specs = parse_guardrails(text)
+    except GuardrailError as error:
+        out.write("PARSE ERROR: {}\n".format(error))
+        return 1
+    if not specs:
+        out.write("no guardrails found\n")
+        return 1
+    compiler = _compiler(args)
+    failures = 0
+    for spec in specs:
+        try:
+            compiled = compiler.compile(spec)
+        except GuardrailError as error:
+            out.write("FAIL  {}: {}\n".format(spec.name, error))
+            failures += 1
+            continue
+        out.write("OK    {} ({} ops/check, ~{:.0f} ops/s)\n".format(
+            spec.name, compiled.verification.total_cost,
+            compiled.verification.estimated_ops_per_second))
+    out.write("{} guardrail(s), {} failure(s)\n".format(len(specs), failures))
+    return 1 if failures else 0
+
+
+def cmd_inspect(args, out):
+    text = _read(args.file)
+    try:
+        specs = parse_guardrails(text)
+    except GuardrailError as error:
+        out.write("PARSE ERROR: {}\n".format(error))
+        return 1
+    compiler = _compiler(args)
+    for spec in specs:
+        out.write("guardrail {}\n".format(spec.name))
+        for trigger in spec.triggers:
+            out.write("  trigger  {}\n".format(trigger.to_source()))
+        try:
+            compiled = compiler.compile(spec)
+            costs = compiled.verification.rule_costs
+        except GuardrailError as error:
+            out.write("  VERIFIER: {}\n".format(error))
+            costs = [None] * len(spec.rules)
+        for rule, cost in zip(spec.rules, costs):
+            suffix = "" if cost is None else "  [{} ops]".format(cost)
+            out.write("  rule     {}{}\n".format(rule.to_source(), suffix))
+        keys = sorted(rule_load_keys(spec))
+        out.write("  reads    {}\n".format(", ".join(keys) if keys else "<none>"))
+        for action in spec.actions:
+            out.write("  action   {}\n".format(action.to_source()))
+        out.write("\n")
+    return 0
+
+
+def cmd_fmt(args, out):
+    text = _read(args.file)
+    try:
+        specs = parse_guardrails(text)
+    except GuardrailError as error:
+        out.write("PARSE ERROR: {}\n".format(error))
+        return 1
+    formatted = "\n".join(spec.to_source() for spec in specs) + "\n"
+    if args.write and args.file != "-":
+        with open(args.file, "w") as handle:
+            handle.write(formatted)
+    else:
+        out.write(formatted)
+    return 0
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    handler = {"check": cmd_check, "inspect": cmd_inspect, "fmt": cmd_fmt}
+    return handler[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

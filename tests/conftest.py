@@ -1,0 +1,22 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.core.host import MonitorHost
+from repro.kernel import Kernel
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine(seed=0)
+
+
+@pytest.fixture
+def host():
+    return MonitorHost()
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=0)

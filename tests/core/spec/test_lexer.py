@@ -1,0 +1,108 @@
+"""DSL lexer."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.spec.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_empty_input_yields_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("guardrail foo TIMER LOAD bar")
+    assert [t.kind for t in tokens[:-1]] == [
+        "keyword", "ident", "keyword", "keyword", "ident",
+    ]
+
+
+def test_dotted_identifier_is_one_token():
+    assert values("storage.pick_device") == ["storage.pick_device"]
+
+
+def test_identifier_cannot_end_with_dot():
+    with pytest.raises(ParseError, match="ends with a dot"):
+        tokenize("foo.")
+
+
+def test_numbers_plain_and_scientific():
+    assert values("42 3.5 1e9 2.5e-3") == [42, 3.5, 1_000_000_000, 0.0025]
+
+
+def test_integer_valued_floats_become_ints():
+    assert values("1e9")[0] == 10 ** 9
+    assert isinstance(values("1e9")[0], int)
+
+
+def test_time_unit_suffixes():
+    assert values("50ms 100us 2ns 1s") == [
+        50_000_000, 100_000, 2, 1_000_000_000,
+    ]
+
+
+def test_fractional_unit_suffix():
+    assert values("1.5ms") == [1_500_000]
+
+
+def test_unknown_unit_suffix_raises():
+    with pytest.raises(ParseError, match="unit suffix"):
+        tokenize("5parsecs")
+
+
+def test_operators_longest_match_first():
+    assert values("<= < >= > == != && ||") == [
+        "<=", "<", ">=", ">", "==", "!=", "&&", "||",
+    ]
+
+
+def test_line_comment_skipped():
+    assert values("1 // the rest is ignored\n2") == [1, 2]
+
+
+def test_block_comment_skipped():
+    assert values("1 /* multi\nline */ 2") == [1, 2]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(ParseError, match="unterminated block comment"):
+        tokenize("/* oops")
+
+
+def test_string_literals_with_escapes():
+    assert values(r'"a\nb" "q\"q"') == ["a\nb", 'q"q']
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(ParseError, match="unterminated string"):
+        tokenize('"abc')
+
+
+def test_bad_escape_raises():
+    with pytest.raises(ParseError, match="bad escape"):
+        tokenize(r'"\x"')
+
+
+def test_unexpected_character_raises_with_location():
+    with pytest.raises(ParseError, match="line 2"):
+        tokenize("ok\n  @")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_true_false_are_keywords():
+    assert kinds("true false")[:2] == ["keyword", "keyword"]

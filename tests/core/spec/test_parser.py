@@ -1,0 +1,242 @@
+"""DSL parser: the Listing 1 grammar with Listing 2's concrete syntax."""
+
+import pytest
+
+from repro.core.errors import ParseError, SpecError
+from repro.core.spec import ast as A
+from repro.core.spec import parse_guardrail, parse_guardrails
+
+LISTING2 = """
+guardrail low-false-submit {
+  trigger: {
+    TIMER(start_time, 1e9) // Periodically check every 1s.
+  },
+  rule: {
+    LOAD(false_submit_rate) <= 0.05
+  },
+  action: {
+    SAVE(ml_enabled, false)
+  }
+}
+"""
+
+
+def test_parses_listing2_verbatim():
+    spec = parse_guardrail(LISTING2)
+    assert spec.name == "low-false-submit"
+    assert len(spec.triggers) == 1
+    assert len(spec.rules) == 1
+    assert len(spec.actions) == 1
+
+    trigger = spec.triggers[0]
+    assert isinstance(trigger, A.TimerTriggerSpec)
+    assert trigger.start == A.Name("start_time")
+    assert trigger.interval == A.NumberLiteral(10 ** 9)
+
+    rule = spec.rules[0].expression
+    assert isinstance(rule, A.BinaryOp)
+    assert rule.op == "<="
+    assert rule.left == A.Load("false_submit_rate")
+    assert rule.right == A.NumberLiteral(0.05)
+
+    action = spec.actions[0]
+    assert isinstance(action, A.SaveSpec)
+    assert action.key == "ml_enabled"
+    assert action.expression == A.BoolLiteral(False)
+
+
+def test_hyphenated_guardrail_names():
+    spec = parse_guardrail(
+        "guardrail a-b-c { trigger: { TIMER(0, 1) }, "
+        "rule: { true }, action: { REPORT() } }"
+    )
+    assert spec.name == "a-b-c"
+
+
+def test_timer_with_stop_time():
+    spec = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0, 1s, 10s) }, rule: { true }, "
+        "action: { REPORT() } }"
+    )
+    trigger = spec.triggers[0]
+    assert trigger.stop == A.NumberLiteral(10 ** 10)
+
+
+def test_timer_wrong_arity_raises():
+    with pytest.raises(ParseError, match="TIMER takes 2 or 3"):
+        parse_guardrail(
+            "guardrail g { trigger: { TIMER(1) }, rule: { true }, "
+            "action: { REPORT() } }"
+        )
+
+
+def test_function_trigger():
+    spec = parse_guardrail(
+        "guardrail g { trigger: { FUNCTION(mm.alloc) }, rule: { true }, "
+        "action: { REPORT() } }"
+    )
+    assert spec.triggers[0] == A.FunctionTriggerSpec("mm.alloc")
+
+
+def test_multiple_triggers_rules_actions():
+    spec = parse_guardrail("""
+guardrail g {
+  trigger: { TIMER(0, 1s), FUNCTION(sched.pick_next_task) },
+  rule: { LOAD(a) <= 1, LOAD(b) >= 0 },
+  action: { REPORT(), RETRAIN(model) }
+}""")
+    assert len(spec.triggers) == 2
+    assert len(spec.rules) == 2
+    assert len(spec.actions) == 2
+
+
+def test_all_action_forms():
+    spec = parse_guardrail("""
+guardrail g {
+  trigger: { TIMER(0, 1s) },
+  rule: { true },
+  action: {
+    REPORT(LOAD(x), 5),
+    REPLACE(slot.a, impl.b),
+    RETRAIN(model, LOAD(x)),
+    DEPRIORITIZE({task1, task2}, {5, 0}),
+    SAVE(flag, 1 + 2)
+  }
+}""")
+    kinds = [a.kind for a in spec.actions]
+    assert kinds == ["REPORT", "REPLACE", "RETRAIN", "DEPRIORITIZE", "SAVE"]
+    dep = spec.actions[3]
+    assert dep.targets == ["task1", "task2"]
+    assert [p.value for p in dep.priorities] == [5, 0]
+
+
+def test_operator_precedence():
+    spec = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0,1) }, "
+        "rule: { LOAD(a) + 2 * 3 <= 10 }, action: { REPORT() } }"
+    )
+    rule = spec.rules[0].expression
+    # (a + (2*3)) <= 10
+    assert rule.op == "<="
+    assert rule.left.op == "+"
+    assert rule.left.right.op == "*"
+
+
+def test_logical_operators_and_keyword_forms():
+    spec = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0,1) }, "
+        "rule: { LOAD(a) <= 1 && LOAD(b) >= 2 || not (LOAD(c) == 3) }, "
+        "action: { REPORT() } }"
+    )
+    rule = spec.rules[0].expression
+    assert rule.op == "||"
+    assert rule.left.op == "&&"
+    assert rule.right.op == "!"
+
+
+def test_and_or_words_equivalent_to_symbols():
+    a = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0,1) }, "
+        "rule: { LOAD(a) <= 1 and LOAD(b) >= 2 }, action: { REPORT() } }"
+    )
+    b = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0,1) }, "
+        "rule: { LOAD(a) <= 1 && LOAD(b) >= 2 }, action: { REPORT() } }"
+    )
+    assert a.rules[0] == b.rules[0]
+
+
+def test_unary_minus():
+    spec = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0,1) }, "
+        "rule: { LOAD(a) >= -5 }, action: { REPORT() } }"
+    )
+    rule = spec.rules[0].expression
+    assert isinstance(rule.right, A.UnaryOp)
+    assert rule.right.op == "-"
+
+
+def test_builtin_calls():
+    spec = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0,1) }, "
+        "rule: { abs(LOAD(a) - LOAD(b)) <= max(1, 2) }, action: { REPORT() } }"
+    )
+    rule = spec.rules[0].expression
+    assert rule.left.function == "abs"
+    assert rule.right.function == "max"
+
+
+def test_unknown_function_raises():
+    with pytest.raises(ParseError, match="unknown function"):
+        parse_guardrail(
+            "guardrail g { trigger: { TIMER(0,1) }, "
+            "rule: { foo(1) <= 2 }, action: { REPORT() } }"
+        )
+
+
+def test_sections_in_any_order():
+    spec = parse_guardrail(
+        "guardrail g { action: { REPORT() }, rule: { true }, "
+        "trigger: { TIMER(0,1) } }"
+    )
+    assert spec.triggers and spec.rules and spec.actions
+
+
+def test_duplicate_section_raises():
+    with pytest.raises(ParseError, match="duplicate"):
+        parse_guardrail(
+            "guardrail g { trigger: { TIMER(0,1) }, trigger: { TIMER(0,2) }, "
+            "rule: { true }, action: { REPORT() } }"
+        )
+
+
+def test_missing_section_raises_spec_error():
+    with pytest.raises(SpecError, match="no actions"):
+        parse_guardrail(
+            "guardrail g { trigger: { TIMER(0,1) }, rule: { true } }"
+        )
+
+
+def test_trailing_comma_allowed():
+    spec = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0,1), }, rule: { true, }, "
+        "action: { REPORT(), } }"
+    )
+    assert len(spec.actions) == 1
+
+
+def test_trailing_input_raises():
+    with pytest.raises(ParseError, match="trailing input"):
+        parse_guardrail(
+            "guardrail g { trigger: { TIMER(0,1) }, rule: { true }, "
+            "action: { REPORT() } } extra"
+        )
+
+
+def test_parse_guardrails_multiple_blocks():
+    specs = parse_guardrails("""
+guardrail one { trigger: { TIMER(0,1) }, rule: { true }, action: { REPORT() } }
+guardrail two { trigger: { TIMER(0,1) }, rule: { true }, action: { REPORT() } }
+""")
+    assert [s.name for s in specs] == ["one", "two"]
+
+
+def test_parse_guardrails_empty_input():
+    assert parse_guardrails("  // nothing here\n") == []
+
+
+def test_error_carries_line_number():
+    try:
+        parse_guardrail("guardrail g {\n  bogus: { }\n}")
+    except ParseError as error:
+        assert error.line == 2
+    else:
+        pytest.fail("expected ParseError")
+
+
+def test_parenthesized_expression():
+    spec = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0,1) }, "
+        "rule: { (LOAD(a) + 1) * 2 <= 10 }, action: { REPORT() } }"
+    )
+    assert spec.rules[0].expression.left.op == "*"

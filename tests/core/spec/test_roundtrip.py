@@ -1,0 +1,66 @@
+"""AST -> source -> AST round-trips."""
+
+import pytest
+
+from repro.core.spec import parse_guardrail
+
+EXAMPLES = [
+    # Listing 2, the paper's own example.
+    """
+guardrail low-false-submit {
+  trigger: { TIMER(start_time, 1e9) },
+  rule: { LOAD(false_submit_rate) <= 0.05 },
+  action: { SAVE(ml_enabled, false) }
+}
+""",
+    # Every action kind.
+    """
+guardrail kitchen-sink {
+  trigger: { TIMER(0, 1s, 60s), FUNCTION(mm.alloc) },
+  rule: { LOAD(a) <= 1, LOAD(b) >= 0 && !(LOAD(c) == 3) },
+  action: {
+    REPORT(LOAD(a)),
+    REPLACE(slot.x, impl.y),
+    RETRAIN(model, LOAD(b)),
+    DEPRIORITIZE({t1, t2}, {3, 0}),
+    SAVE(k, LOAD(a) + 1)
+  }
+}
+""",
+    # Arithmetic and builtins.
+    """
+guardrail math {
+  trigger: { TIMER(0, 50ms) },
+  rule: { abs(LOAD(x) - LOAD(y)) / max(LOAD(y), 1) <= 0.1 },
+  action: { REPORT() }
+}
+""",
+]
+
+
+@pytest.mark.parametrize("source", EXAMPLES)
+def test_roundtrip_is_fixed_point(source):
+    first = parse_guardrail(source)
+    printed = first.to_source()
+    second = parse_guardrail(printed)
+    assert first == second
+    # Printing again must be a fixed point.
+    assert second.to_source() == printed
+
+
+def test_roundtrip_preserves_unit_normalization():
+    spec = parse_guardrail(
+        "guardrail g { trigger: { TIMER(0, 5ms) }, rule: { true }, "
+        "action: { REPORT() } }"
+    )
+    again = parse_guardrail(spec.to_source())
+    assert again.triggers[0].interval.value == 5_000_000
+
+
+def test_equality_and_hash_by_structure():
+    a = parse_guardrail(EXAMPLES[0])
+    b = parse_guardrail(EXAMPLES[0])
+    assert a == b
+    assert hash(a) == hash(b)
+    c = parse_guardrail(EXAMPLES[1])
+    assert a != c

@@ -1,0 +1,98 @@
+"""Semantic validation beyond syntax."""
+
+import pytest
+
+from repro.core.errors import SpecError
+from repro.core.spec import ast as A
+from repro.core.spec import parse_guardrail
+from repro.core.spec.validator import validate_spec
+
+
+def _spec(triggers=None, rules=None, actions=None):
+    return A.GuardrailSpec(
+        "g",
+        triggers if triggers is not None else [
+            A.TimerTriggerSpec(A.NumberLiteral(0), A.NumberLiteral(1))
+        ],
+        rules if rules is not None else [A.RuleSpec(A.BoolLiteral(True))],
+        actions if actions is not None else [A.ReportSpec()],
+    )
+
+
+def test_valid_spec_passes():
+    validate_spec(_spec())
+
+
+@pytest.mark.parametrize("missing", ["triggers", "rules", "actions"])
+def test_empty_sections_rejected(missing):
+    kwargs = {missing: []}
+    with pytest.raises(SpecError, match="no " + missing[:-1]):
+        validate_spec(_spec(**kwargs))
+
+
+def test_zero_interval_rejected():
+    trigger = A.TimerTriggerSpec(A.NumberLiteral(0), A.NumberLiteral(0))
+    with pytest.raises(SpecError, match="interval must be positive"):
+        validate_spec(_spec(triggers=[trigger]))
+
+
+def test_negative_start_rejected():
+    trigger = A.TimerTriggerSpec(
+        A.UnaryOp("-", A.NumberLiteral(5)), A.NumberLiteral(1)
+    )
+    with pytest.raises(SpecError, match="start must be >= 0"):
+        validate_spec(_spec(triggers=[trigger]))
+
+
+def test_stop_before_start_rejected():
+    trigger = A.TimerTriggerSpec(
+        A.NumberLiteral(100), A.NumberLiteral(1), A.NumberLiteral(50)
+    )
+    with pytest.raises(SpecError, match="stop"):
+        validate_spec(_spec(triggers=[trigger]))
+
+
+def test_symbolic_start_time_accepted():
+    trigger = A.TimerTriggerSpec(A.Name("start_time"), A.NumberLiteral(1))
+    validate_spec(_spec(triggers=[trigger]))
+
+
+def test_non_boolean_rule_rejected():
+    rule = A.RuleSpec(A.BinaryOp("+", A.NumberLiteral(1), A.NumberLiteral(2)))
+    with pytest.raises(SpecError, match="not boolean-valued"):
+        validate_spec(_spec(rules=[rule]))
+
+
+def test_bare_load_rule_accepted_as_truthy():
+    validate_spec(_spec(rules=[A.RuleSpec(A.Load("flag"))]))
+
+
+def test_negated_rule_accepted():
+    rule = A.RuleSpec(A.UnaryOp("!", A.Load("flag")))
+    validate_spec(_spec(rules=[rule]))
+
+
+def test_deprioritize_length_mismatch_rejected():
+    action = A.DeprioritizeSpec(["a", "b"], [A.NumberLiteral(1)])
+    with pytest.raises(SpecError, match="2 targets but 1"):
+        validate_spec(_spec(actions=[action]))
+
+
+def test_deprioritize_empty_targets_rejected():
+    action = A.DeprioritizeSpec([], [])
+    with pytest.raises(SpecError, match="at least one target"):
+        validate_spec(_spec(actions=[action]))
+
+
+def test_replace_with_same_names_rejected():
+    action = A.ReplaceSpec("x", "x")
+    with pytest.raises(SpecError, match="both"):
+        validate_spec(_spec(actions=[action]))
+
+
+def test_parser_invokes_validator():
+    with pytest.raises(SpecError, match="interval must be positive"):
+        parse_guardrail(
+            "guardrail g { trigger: { TIMER(0, 0) }, rule: { true }, "
+            "action: { REPORT() } }"
+        )

@@ -1,0 +1,116 @@
+"""Guardrail compilation."""
+
+import pytest
+
+from repro.core.actions import (
+    DeprioritizeAction,
+    ReplaceAction,
+    ReportAction,
+    RetrainAction,
+    SaveAction,
+)
+from repro.core.compiler import GuardrailCompiler
+from repro.core.errors import CompileError
+from repro.core.spec import parse_guardrail
+
+FULL = """
+guardrail full {
+  trigger: { TIMER(start_time, 1s), FUNCTION(mm.alloc) },
+  rule: { LOAD(a) <= 1 },
+  action: {
+    REPORT(LOAD(a)),
+    REPLACE(slot, fallback),
+    RETRAIN(model, LOAD(a)),
+    DEPRIORITIZE({t}, {3}),
+    SAVE(k, 1)
+  }
+}
+"""
+
+
+@pytest.fixture
+def compiler():
+    return GuardrailCompiler()
+
+
+def test_compiles_from_text_or_ast(compiler):
+    from_text = compiler.compile(FULL)
+    from_ast = compiler.compile(parse_guardrail(FULL))
+    assert from_text.name == from_ast.name == "full"
+
+
+def test_rejects_other_inputs(compiler):
+    with pytest.raises(CompileError):
+        compiler.compile(42)
+
+
+def test_trigger_params_lowered(compiler):
+    compiled = compiler.compile(FULL)
+    timer, function = compiled.trigger_params
+    assert timer == ("timer", None, 10 ** 9, None)
+    assert function == ("function", "mm.alloc")
+
+
+def test_timer_stop_lowered(compiler):
+    compiled = compiler.compile(
+        "guardrail g { trigger: { TIMER(2s, 1s, 9s) }, rule: { true }, "
+        "action: { REPORT() } }"
+    )
+    assert compiled.trigger_params[0] == ("timer", 2 * 10 ** 9, 10 ** 9, 9 * 10 ** 9)
+
+
+def test_env_constants_usable_in_triggers():
+    compiler = GuardrailCompiler(env={"check_interval": 5 * 10 ** 9})
+    compiled = compiler.compile(
+        "guardrail g { trigger: { TIMER(start_time, check_interval) }, "
+        "rule: { true }, action: { REPORT() } }"
+    )
+    assert compiled.trigger_params[0][2] == 5 * 10 ** 9
+
+
+def test_unbound_trigger_name_rejected(compiler):
+    with pytest.raises(CompileError, match="compile-time constant"):
+        compiler.compile(
+            "guardrail g { trigger: { TIMER(start_time, mystery) }, "
+            "rule: { true }, action: { REPORT() } }"
+        )
+
+
+def test_load_in_trigger_rejected(compiler):
+    with pytest.raises(CompileError, match="LOAD"):
+        compiler.compile(
+            "guardrail g { trigger: { TIMER(start_time, LOAD(x)) }, "
+            "rule: { true }, action: { REPORT() } }"
+        )
+
+
+def test_actions_lowered_to_runtime_types(compiler):
+    compiled = compiler.compile(FULL)
+    types = [type(a) for a in compiled.actions]
+    assert types == [ReportAction, ReplaceAction, RetrainAction,
+                     DeprioritizeAction, SaveAction]
+    replace = compiled.actions[1]
+    assert (replace.old_function, replace.new_function) == ("slot", "fallback")
+    dep = compiled.actions[3]
+    assert dep.targets == ["t"]
+    assert dep.priorities == [3]
+
+
+def test_rules_carry_source_and_cost(compiler):
+    compiled = compiler.compile(FULL)
+    source, program, cost = compiled.rules[0]
+    assert "LOAD(a)" in source
+    assert cost > 0
+    assert callable(program)
+
+
+def test_instantiate_binds_to_host(compiler, host):
+    host.hooks.declare("mm.alloc")
+    monitor = compiler.compile(FULL).instantiate(host)
+    assert monitor.host is host
+    assert not monitor.enabled
+
+
+def test_cooldown_carried_through(compiler):
+    compiled = compiler.compile(FULL, cooldown=123)
+    assert compiled.cooldown == 123

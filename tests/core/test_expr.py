@@ -1,0 +1,180 @@
+"""Expression compilation: evaluation, missing-data semantics, cost."""
+
+import pytest
+
+from repro.core.errors import CompileError
+from repro.core.expr import EvalContext, compile_expression, static_cost
+from repro.core.featurestore import FeatureStore
+from repro.core.spec import ast as A
+from repro.core.spec.lexer import tokenize
+from repro.core.spec.parser import _Parser
+
+
+def parse_expr(text):
+    return _Parser(tokenize(text)).parse_expression()
+
+
+def evaluate(text, store=None, payload=None, env=None, now=0):
+    store = store if store is not None else FeatureStore()
+    program = compile_expression(parse_expr(text))
+    ctx = EvalContext(store, now=now, payload=payload, env=env)
+    return program(ctx), ctx
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("1 + 2", 3),
+    ("2 * 3 + 4", 10),
+    ("2 + 3 * 4", 14),
+    ("10 / 4", 2.5),
+    ("-(3)", -3),
+    ("1 <= 2", True),
+    ("2 < 2", False),
+    ("3 >= 3", True),
+    ("1 == 1", True),
+    ("1 != 1", False),
+    ("true && false", False),
+    ("true || false", True),
+    ("!(true)", False),
+    ("abs(0 - 5)", 5),
+    ("min(3, 1, 2)", 1),
+    ("max(3, 1, 2)", 3),
+    ("clamp(15, 0, 10)", 10),
+    ("clamp(0 - 5, 0, 10)", 0),
+    ("clamp(5, 0, 10)", 5),
+])
+def test_constant_expressions(text, expected):
+    value, _ = evaluate(text)
+    assert value == expected
+
+
+def test_load_reads_store():
+    store = FeatureStore()
+    store.save("x", 7)
+    value, _ = evaluate("LOAD(x) + 1", store)
+    assert value == 8
+
+
+def test_load_missing_key_is_none():
+    value, _ = evaluate("LOAD(missing)")
+    assert value is None
+
+
+def test_none_propagates_through_arithmetic():
+    value, _ = evaluate("LOAD(missing) + 1")
+    assert value is None
+
+
+def test_none_propagates_through_comparison():
+    value, _ = evaluate("LOAD(missing) <= 5")
+    assert value is None
+
+
+def test_nan_treated_as_missing():
+    store = FeatureStore()
+    store.save("x", float("nan"))
+    value, _ = evaluate("LOAD(x) <= 5", store)
+    assert value is None
+
+
+def test_short_circuit_and_with_false():
+    value, _ = evaluate("false && LOAD(missing)")
+    assert value is False
+
+
+def test_and_with_none_and_true_is_none():
+    value, _ = evaluate("true && LOAD(missing)")
+    assert value is None
+
+
+def test_short_circuit_or_with_true():
+    value, _ = evaluate("true || LOAD(missing)")
+    assert value is True
+
+
+def test_or_with_none_and_false_is_none():
+    value, _ = evaluate("false || LOAD(missing)")
+    assert value is None
+
+
+def test_division_by_zero_is_none_not_crash():
+    value, _ = evaluate("1 / 0")
+    assert value is None
+
+
+def test_payload_name_resolution():
+    value, _ = evaluate("granted <= available",
+                        payload={"granted": 5, "available": 10})
+    assert value is True
+
+
+def test_env_name_resolution():
+    value, _ = evaluate("x + 1", env={"x": 41})
+    assert value == 42
+
+
+def test_payload_shadows_env():
+    value, _ = evaluate("x", payload={"x": 1}, env={"x": 2})
+    assert value == 1
+
+
+def test_now_builtin_name():
+    value, _ = evaluate("now", now=123)
+    assert value == 123
+
+
+def test_unknown_name_is_none():
+    value, _ = evaluate("mystery")
+    assert value is None
+
+
+def test_ops_charged_to_context():
+    _, ctx = evaluate("LOAD(a) + 1", FeatureStore())
+    assert ctx.ops == static_cost(parse_expr("LOAD(a) + 1"))
+
+
+def test_short_circuit_costs_less_than_static():
+    expr = parse_expr("false && (LOAD(a) + LOAD(b) <= 3)")
+    program = compile_expression(expr)
+    ctx = EvalContext(FeatureStore())
+    program(ctx)
+    assert ctx.ops < static_cost(expr)
+
+
+def test_static_cost_is_positive_and_additive():
+    small = static_cost(parse_expr("1"))
+    bigger = static_cost(parse_expr("1 + 2"))
+    assert 0 < small < bigger
+
+
+def test_load_costs_more_than_literal():
+    assert static_cost(parse_expr("LOAD(a)")) > static_cost(parse_expr("1"))
+
+
+def test_string_literal_evaluates():
+    value, _ = evaluate('"hello"')
+    assert value == "hello"
+
+
+def test_abs_arity_error():
+    with pytest.raises(CompileError, match="abs"):
+        compile_expression(A.Call("abs", [A.NumberLiteral(1), A.NumberLiteral(2)]))
+
+
+def test_min_needs_two_args():
+    with pytest.raises(CompileError):
+        compile_expression(A.Call("min", [A.NumberLiteral(1)]))
+
+
+def test_unknown_builtin_rejected():
+    with pytest.raises(CompileError, match="unknown builtin"):
+        compile_expression(A.Call("frobnicate", []))
+
+
+def test_min_with_none_arg_is_none():
+    value, _ = evaluate("min(LOAD(missing), 3)")
+    assert value is None
+
+
+def test_not_of_none_is_none():
+    value, _ = evaluate("!(LOAD(missing))")
+    assert value is None

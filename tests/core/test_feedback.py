@@ -1,0 +1,135 @@
+"""Feedback-loop (oscillation) detection and dampening (§6)."""
+
+import pytest
+
+from repro.core.feedback import FeedbackDetector
+from repro.core.registry import GuardrailManager
+from repro.sim.units import SECOND
+
+PROTECTOR = """
+guardrail protector {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { LOAD(latency_ms) <= 5 || LOAD(ml_enabled) == false },
+  action: { SAVE(ml_enabled, false) }
+}
+"""
+
+RESTORER = """
+guardrail restorer {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { LOAD(quality) >= 0.8 || LOAD(ml_enabled) == true },
+  action: { SAVE(ml_enabled, true) }
+}
+"""
+
+
+def coupled_system(host):
+    """Two guardrails that undo each other, plus the coupling dynamics."""
+    store = host.store
+    store.save("ml_enabled", True)
+
+    def publish(step=0):
+        if store.load("ml_enabled"):
+            store.save("latency_ms", 9.0)
+            store.save("quality", 0.9)
+        else:
+            store.save("latency_ms", 2.0)
+            store.save("quality", 0.5)
+        if step < 100:
+            host.engine.schedule(SECOND // 2, publish, step + 1)
+
+    publish()
+    manager = GuardrailManager(host)
+    manager.load(PROTECTOR)
+    manager.load(RESTORER)
+    return manager
+
+
+def test_coupled_guardrails_oscillate(host):
+    coupled_system(host)
+    host.engine.run(until=10 * SECOND)
+    saves = host.reporter.notes_for(kind="SAVE")
+    values = [n["detail"].split(" = ")[1] for n in saves]
+    # Strict alternation between enabling and disabling.
+    assert len(values) >= 8
+    assert all(a != b for a, b in zip(values, values[1:]))
+
+
+def test_detector_reports_key_flapping(host):
+    coupled_system(host)
+    host.engine.run(until=10 * SECOND)
+    reports = FeedbackDetector(host, window=20 * SECOND).scan()
+    flapping = [r for r in reports if r.kind == "key-flapping"]
+    assert flapping
+    assert "ml_enabled" in flapping[0].subjects
+    assert flapping[0].count >= 4
+
+
+def test_detector_reports_action_ping_pong(host):
+    coupled_system(host)
+    host.engine.run(until=10 * SECOND)
+    reports = FeedbackDetector(host, window=20 * SECOND).scan()
+    pingpong = [r for r in reports if r.kind == "action-ping-pong"]
+    assert pingpong
+    assert set(pingpong[0].subjects) == {"protector", "restorer"}
+
+
+def test_no_oscillation_no_reports(host):
+    manager = GuardrailManager(host)
+    manager.load(PROTECTOR)
+    host.store.save("ml_enabled", True)
+    host.store.save("latency_ms", 1.0)
+    host.engine.run(until=10 * SECOND)
+    assert FeedbackDetector(host, window=20 * SECOND).scan() == []
+
+
+def test_single_guardrail_repeated_same_save_not_flapping(host):
+    # Writing the same value over and over is not an oscillation.
+    manager = GuardrailManager(host)
+    manager.load(PROTECTOR)
+    host.store.save("ml_enabled", True)
+
+    def keep_bad(step=0):
+        host.store.save("latency_ms", 9.0)
+        host.store.save("ml_enabled", True)  # external force re-enables
+        if step < 20:
+            host.engine.schedule(SECOND // 2, keep_bad, step + 1)
+
+    keep_bad()
+    host.engine.run(until=10 * SECOND)
+    reports = FeedbackDetector(host, window=20 * SECOND).scan()
+    assert [r for r in reports if r.kind == "key-flapping"] == []
+
+
+def test_window_excludes_old_notes(host):
+    coupled_system(host)
+    host.engine.run(until=10 * SECOND)
+    detector = FeedbackDetector(host, window=1 * SECOND)
+    # Advance past the activity; nothing recent remains.
+    host.engine.run(until=80 * SECOND)
+    assert detector.scan() == []
+
+
+def test_dampen_disables_younger_guardrail(host):
+    manager = coupled_system(host)
+    host.engine.run(until=10 * SECOND)
+    detector = FeedbackDetector(host, window=20 * SECOND)
+    report = [r for r in detector.scan() if r.kind == "key-flapping"][0]
+    victim = detector.dampen(manager, report)
+    assert victim == "restorer"          # loaded after protector
+    assert not manager.get("restorer").enabled
+    assert manager.get("protector").enabled
+
+    before = len(host.reporter.notes_for(kind="SAVE"))
+    host.engine.run(until=20 * SECOND)
+    after = len(host.reporter.notes_for(kind="SAVE"))
+    assert after - before <= 1           # loop broken
+
+
+def test_dampen_with_unknown_subjects_is_noop(host):
+    manager = GuardrailManager(host)
+    detector = FeedbackDetector(host, window=SECOND)
+    from repro.core.feedback import OscillationReport
+
+    report = OscillationReport("key-flapping", ("ghost",), 5, SECOND)
+    assert detector.dampen(manager, report) is None

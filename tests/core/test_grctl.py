@@ -1,0 +1,143 @@
+"""The grctl command-line tool."""
+
+import io
+
+import pytest
+
+from repro.core.spec import parse_guardrails
+from repro.tools.grctl import main
+
+GOOD = """
+guardrail a {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { LOAD(x) <= 1 },
+  action: { REPORT() }
+}
+guardrail b {
+  trigger: { FUNCTION(mm.alloc) },
+  rule: { granted <= available },
+  action: { REPLACE(slot.x, impl.y) }
+}
+"""
+
+BAD_SYNTAX = "guardrail oops { trigger: }"
+
+OVER_BUDGET = """
+guardrail heavy {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { LOAD(a) + LOAD(b) + LOAD(c) + LOAD(d) <= 1 },
+  action: { REPORT() }
+}
+"""
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.grd"
+    path.write_text(GOOD)
+    return str(path)
+
+
+def test_check_good_file(good_file):
+    code, output = run(["check", good_file])
+    assert code == 0
+    assert "OK    a" in output
+    assert "OK    b" in output
+    assert "2 guardrail(s), 0 failure(s)" in output
+
+
+def test_check_reports_parse_errors(tmp_path):
+    path = tmp_path / "bad.grd"
+    path.write_text(BAD_SYNTAX)
+    code, output = run(["check", str(path)])
+    assert code == 1
+    assert "PARSE ERROR" in output
+
+
+def test_check_empty_file_fails(tmp_path):
+    path = tmp_path / "empty.grd"
+    path.write_text("// nothing\n")
+    code, output = run(["check", str(path)])
+    assert code == 1
+    assert "no guardrails" in output
+
+
+def test_check_budget_override(tmp_path):
+    path = tmp_path / "heavy.grd"
+    path.write_text(OVER_BUDGET)
+    code, _ = run(["check", str(path)])
+    assert code == 0
+    code, output = run(["check", "--budget-ops", "5", str(path)])
+    assert code == 1
+    assert "FAIL  heavy" in output
+
+
+def test_inspect_shows_costs_and_read_set(good_file):
+    code, output = run(["inspect", good_file])
+    assert code == 0
+    assert "guardrail a" in output
+    assert "[4 ops]" in output           # LOAD(x) <= 1
+    assert "reads    x" in output
+    assert "reads    <none>" in output   # guardrail b reads payload only
+    assert "REPLACE(slot.x, impl.y)" in output
+
+
+def test_fmt_canonical_and_idempotent(good_file, tmp_path):
+    code, formatted = run(["fmt", good_file])
+    assert code == 0
+    # Formatted output parses to the same specs.
+    assert [s.name for s in parse_guardrails(formatted)] == ["a", "b"]
+    # fmt of the formatted text is a fixed point.
+    path = tmp_path / "fmt.grd"
+    path.write_text(formatted)
+    _, again = run(["fmt", str(path)])
+    assert again == formatted
+
+
+def test_fmt_write_in_place(good_file):
+    code, output = run(["fmt", "--write", good_file])
+    assert code == 0
+    assert output == ""
+    with open(good_file) as handle:
+        assert handle.read().startswith("guardrail a {")
+
+
+def test_fmt_parse_error(tmp_path):
+    path = tmp_path / "bad.grd"
+    path.write_text(BAD_SYNTAX)
+    code, output = run(["fmt", str(path)])
+    assert code == 1
+    assert "PARSE ERROR" in output
+
+
+AGGREGATED = """
+guardrail agg {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { AVG(fault_ms, 10s) <= 2 && P95(fault_ms) <= 20 },
+  action: { REPORT() }
+}
+"""
+
+
+def test_inspect_shows_aggregate_read_set(tmp_path):
+    path = tmp_path / "agg.grd"
+    path.write_text(AGGREGATED)
+    code, output = run(["inspect", str(path)])
+    assert code == 0
+    # The read set names the lowered derived keys.
+    assert "fault_ms.avg10000000000" in output
+    assert "fault_ms.p95" in output
+
+
+def test_check_accepts_aggregates(tmp_path):
+    path = tmp_path / "agg.grd"
+    path.write_text(AGGREGATED)
+    code, output = run(["check", str(path)])
+    assert code == 0
+    assert "OK    agg" in output

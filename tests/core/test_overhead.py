@@ -1,0 +1,73 @@
+"""Overhead accounting and the inference cost/benefit meter."""
+
+import pytest
+
+from repro.core.featurestore import FeatureStore
+from repro.core.overhead import CostModel, InferenceMeter, OverheadAccount
+
+
+class TestCostModel:
+    def test_check_cost_linear_in_ops(self):
+        model = CostModel(ns_per_op=2, ns_per_check=10)
+        assert model.check_cost(0) == 10
+        assert model.check_cost(5) == 20
+
+    def test_action_cost_fixed(self):
+        assert CostModel(ns_per_action=7).action_cost() == 7
+
+
+class TestOverheadAccount:
+    def test_charges_accumulate(self):
+        account = OverheadAccount(CostModel(ns_per_op=1, ns_per_check=10,
+                                            ns_per_action=100))
+        account.charge_check(5)
+        account.charge_check(5)
+        account.charge_action()
+        assert account.checks == 2
+        assert account.ops == 10
+        assert account.actions == 1
+        assert account.simulated_ns == 15 + 15 + 100
+
+    def test_overhead_fraction(self):
+        account = OverheadAccount(CostModel(ns_per_op=0, ns_per_check=100))
+        account.charge_check(0)
+        assert account.overhead_fraction(1000) == 0.1
+        assert account.overhead_fraction(0) == 0.0
+
+    def test_merge(self):
+        a, b = OverheadAccount(), OverheadAccount()
+        a.charge_check(3)
+        b.charge_check(7)
+        b.charge_action()
+        a.merge(b)
+        assert a.checks == 2
+        assert a.ops == 10
+        assert a.actions == 1
+
+    def test_snapshot(self):
+        account = OverheadAccount()
+        account.charge_check(1)
+        snap = account.snapshot()
+        assert set(snap) == {"checks", "ops", "actions", "simulated_ns"}
+
+
+class TestInferenceMeter:
+    def test_publishes_ledger_keys(self):
+        store = FeatureStore()
+        meter = InferenceMeter(store, "policy")
+        assert store.load("policy.net_benefit") == 0
+        meter.record_inference(100)
+        meter.record_inference(100)
+        meter.record_gain(500)
+        assert store.load("policy.inference_ns") == 200
+        assert store.load("policy.gain_ns") == 500
+        assert store.load("policy.net_benefit") == 300
+        assert store.load("policy.inferences") == 2
+
+    def test_negative_net_benefit_possible(self):
+        store = FeatureStore()
+        meter = InferenceMeter(store, "p")
+        meter.record_inference(1000)
+        meter.record_gain(10)
+        assert store.load("p.net_benefit") == -990
+        assert meter.net_benefit == -990

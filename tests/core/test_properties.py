@@ -1,0 +1,125 @@
+"""P1-P6 property templates: generated DSL parses, verifies, and behaves."""
+
+import pytest
+
+from repro.core.compiler import GuardrailCompiler
+from repro.core.properties import (
+    decision_overhead,
+    decision_quality,
+    fairness_liveness,
+    in_distribution,
+    output_bounds,
+    robustness,
+)
+from repro.core.registry import GuardrailManager
+from repro.core.spec import parse_guardrail
+from repro.sim.units import SECOND
+
+ALL_TEMPLATES = [
+    in_distribution("pol"),
+    robustness("pol", sensitivity_threshold=0.5),
+    output_bounds("mm", "mm.alloc", "granted <= available", "slot", "fb"),
+    decision_quality("cache", "cache.hit_rate", "cache.random.hit_rate",
+                     fallback_slot="cache.evict", fallback_impl="cache.random"),
+    decision_overhead("pol", fallback_slot="slot", fallback_impl="fb"),
+    fairness_liveness(),
+]
+
+
+@pytest.mark.parametrize("text", ALL_TEMPLATES,
+                         ids=["P1", "P2", "P3", "P4", "P5", "P6"])
+def test_templates_parse_and_compile(text):
+    spec = parse_guardrail(text)
+    compiled = GuardrailCompiler().compile(spec)
+    assert compiled.verification.total_cost > 0
+
+
+def test_p1_trips_on_published_drift(host):
+    manager = GuardrailManager(host)
+    monitor = manager.load(in_distribution("pol", psi_threshold=0.25))
+    host.store.save("pol.input_psi_max", 0.1)
+    host.store.save("pol.input_oor_max", 0.0)
+    host.engine.run(until=1 * SECOND)
+    assert monitor.violation_count == 0
+    host.store.save("pol.input_psi_max", 0.9)
+    host.engine.run(until=2 * SECOND)
+    assert monitor.violation_count == 1
+    # Default P1 actions: REPORT + RETRAIN.
+    assert host.retrain_queue.pending[0]["model"] == "pol"
+    assert len(host.reporter.reports) == 1
+
+
+def test_p2_trips_on_sensitivity(host):
+    manager = GuardrailManager(host)
+    monitor = manager.load(robustness("pol", sensitivity_threshold=0.5))
+    host.store.save("pol.output_sensitivity", 2.0)
+    host.engine.run(until=1 * SECOND)
+    assert monitor.violation_count == 1
+
+
+def test_p3_checks_at_hook_and_replaces(host):
+    host.hooks.declare("mm.alloc")
+    host.functions.register("slot", lambda: "learned")
+    host.functions.register_implementation("fb", lambda: "safe")
+    manager = GuardrailManager(host)
+    monitor = manager.load(
+        output_bounds("mm", "mm.alloc", "granted <= available", "slot", "fb")
+    )
+    host.hooks.get("mm.alloc").fire(granted=5, available=10)
+    assert monitor.violation_count == 0
+    host.hooks.get("mm.alloc").fire(granted=50, available=10)
+    assert monitor.violation_count == 1
+    assert host.functions.slot("slot")() == "safe"
+
+
+def test_p4_compares_against_baseline_with_margin(host):
+    manager = GuardrailManager(host)
+    monitor = manager.load(decision_quality(
+        "cache", "cache.hit_rate", "cache.random.hit_rate", margin=0.05
+    ))
+    host.store.save("cache.hit_rate", 0.58)
+    host.store.save("cache.random.hit_rate", 0.60)
+    host.engine.run(until=1 * SECOND)
+    assert monitor.violation_count == 0   # within margin
+    host.store.save("cache.hit_rate", 0.40)
+    host.engine.run(until=2 * SECOND)
+    assert monitor.violation_count == 1
+
+
+def test_p5_trips_on_negative_net_benefit(host):
+    manager = GuardrailManager(host)
+    monitor = manager.load(decision_overhead("pol"))
+    host.store.save("pol.net_benefit", 100)
+    host.engine.run(until=1 * SECOND)
+    assert monitor.violation_count == 0
+    host.store.save("pol.net_benefit", -5)
+    host.engine.run(until=2 * SECOND)
+    assert monitor.violation_count == 1
+
+
+def test_p6_uses_paper_100ms_bound(host):
+    manager = GuardrailManager(host)
+    host.functions.register("sched.pick_next", lambda s: None)
+    host.functions.register_implementation("sched.cfs", lambda s: None)
+    monitor = manager.load(fairness_liveness())
+    host.store.save("sched.max_wait_ms", 50.0)
+    host.engine.run(until=SECOND // 10)
+    assert monitor.violation_count == 0
+    host.store.save("sched.max_wait_ms", 150.0)
+    host.engine.run(until=2 * SECOND // 10)
+    assert monitor.violation_count == 1
+
+
+def test_custom_actions_override_defaults():
+    text = in_distribution("pol", actions=["REPORT()"])
+    spec = parse_guardrail(text)
+    assert len(spec.actions) == 1
+    assert spec.actions[0].kind == "REPORT"
+
+
+def test_p1_missing_instrumentation_is_inconclusive(host):
+    manager = GuardrailManager(host)
+    monitor = manager.load(in_distribution("ghost"))
+    host.engine.run(until=2 * SECOND)
+    assert monitor.violation_count == 0
+    assert monitor.inconclusive_count > 0

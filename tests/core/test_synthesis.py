@@ -1,0 +1,90 @@
+"""Guardrail synthesis from policy manifests."""
+
+import pytest
+
+from repro.core.compiler import GuardrailCompiler
+from repro.core.registry import GuardrailManager
+from repro.core.synthesis import PolicyManifest, synthesize_guardrails
+from repro.sim.units import SECOND
+
+
+def full_manifest():
+    return PolicyManifest(
+        name="pol",
+        slot="slot",
+        fallback="fb",
+        model="pol_model",
+        reward_key="pol.reward",
+        baseline_key="pol.baseline",
+        has_input_tracker=True,
+        has_sensitivity_probe=True,
+        sensitivity_threshold=0.7,
+        bounds_hook="pol.decide",
+        bounds_rule="output >= 0",
+    )
+
+
+def test_full_manifest_synthesizes_all_properties():
+    specs = synthesize_guardrails(full_manifest())
+    assert set(specs) == {"P1", "P2", "P3", "P4", "P5"}
+
+
+def test_all_synthesized_specs_compile():
+    compiler = GuardrailCompiler()
+    for spec in synthesize_guardrails(full_manifest()).values():
+        compiler.compile(spec)
+
+
+def test_p5_always_present_even_for_minimal_manifest():
+    specs = synthesize_guardrails(PolicyManifest(name="tiny"))
+    assert set(specs) == {"P5"}
+
+
+def test_reward_extraction_becomes_p4_rule():
+    specs = synthesize_guardrails(full_manifest())
+    assert "LOAD(pol.reward) >= LOAD(pol.baseline)" in specs["P4"]
+
+
+def test_lower_is_better_swaps_operands():
+    manifest = PolicyManifest(
+        name="lat", reward_key="lat.ms", baseline_key="lat.baseline_ms",
+        higher_is_better=False,
+    )
+    specs = synthesize_guardrails(manifest)
+    # lower-is-better: baseline must be >= metric
+    assert "LOAD(lat.baseline_ms) >= LOAD(lat.ms)" in specs["P4"]
+
+
+def test_retrain_targets_declared_model():
+    specs = synthesize_guardrails(full_manifest())
+    assert "RETRAIN(pol_model)" in specs["P1"]
+
+
+def test_bounds_without_fallback_rejected():
+    manifest = PolicyManifest(name="p", bounds_hook="h", bounds_rule="x >= 0")
+    with pytest.raises(ValueError, match="fallback"):
+        synthesize_guardrails(manifest)
+
+
+def test_synthesized_guardrails_run_end_to_end(host):
+    host.hooks.declare("pol.decide")
+    host.functions.register("slot", lambda: 1)
+    host.functions.register_implementation("fb", lambda: 2)
+    manager = GuardrailManager(host)
+    for spec in synthesize_guardrails(full_manifest()).values():
+        manager.load(spec)
+
+    # Feed data that violates P4 (reward below baseline).
+    host.store.save("pol.reward", 0.2)
+    host.store.save("pol.baseline", 0.8)
+    host.store.save("pol.net_benefit", 10)
+    host.engine.run(until=1 * SECOND)
+    p4 = manager.get("pol-decision-quality")
+    assert p4.violation_count == 1
+    assert host.functions.slot("slot")() == 2  # replaced with fallback
+
+
+def test_check_interval_respected():
+    manifest = PolicyManifest(name="p", check_interval=5 * SECOND)
+    specs = synthesize_guardrails(manifest)
+    assert "TIMER(start_time, {})".format(5 * SECOND) in specs["P5"]

@@ -1,0 +1,108 @@
+"""Auto-tightening of relaxed thresholds (§3.3)."""
+
+import pytest
+
+from repro.core.registry import GuardrailManager
+from repro.core.tightening import AutoTightener
+from repro.sim.units import SECOND
+
+
+def build_spec(threshold):
+    return (
+        "guardrail tight {{ trigger: {{ TIMER(start_time, 1s) }}, "
+        "rule: {{ LOAD(metric) <= {} }}, action: {{ REPORT() }} }}".format(
+            threshold
+        )
+    )
+
+
+def make_tightener(host, **kwargs):
+    manager = GuardrailManager(host)
+    defaults = dict(
+        manager=manager, guardrail_name="tight", key="metric",
+        spec_builder=build_spec, initial_threshold=1000.0,
+        interval=1 * SECOND, quantile=0.9, margin=1.5, min_samples=20,
+    )
+    defaults.update(kwargs)
+    return AutoTightener(**defaults), manager
+
+
+def feed(host, values, spacing=10_000_000):
+    def emit(index=0):
+        if index < len(values):
+            host.store.save("metric", values[index])
+            host.engine.schedule(spacing, emit, index + 1)
+    emit()
+
+
+def test_threshold_tightens_toward_observed_quantile(host):
+    tightener, manager = make_tightener(host)
+    tightener.start()
+    feed(host, [10.0] * 200)
+    host.engine.run(until=4 * SECOND)
+    assert tightener.threshold == pytest.approx(15.0, rel=0.05)  # 10 * 1.5
+    assert tightener.tighten_count >= 1
+    assert manager.update_count >= 1
+
+
+def test_tightened_guardrail_catches_regression(host):
+    tightener, manager = make_tightener(host)
+    tightener.start()
+    feed(host, [10.0] * 200)
+    host.engine.run(until=4 * SECOND)
+    # A regression to 100 would pass the relaxed 1000 threshold but not the
+    # tightened one.
+    host.store.save("metric", 100.0)
+    host.engine.run(until=5 * SECOND)
+    assert manager.get("tight").violation_count >= 1
+
+
+def test_threshold_never_increases(host):
+    tightener, _ = make_tightener(host)
+    tightener.start()
+    feed(host, [10.0] * 100 + [500.0] * 200)
+    host.engine.run(until=6 * SECOND)
+    thresholds = [t for _, t in tightener.history]
+    assert all(b <= a for a, b in zip(thresholds, thresholds[1:]))
+
+
+def test_respects_min_samples(host):
+    tightener, _ = make_tightener(host, min_samples=1000)
+    tightener.start()
+    feed(host, [10.0] * 50)
+    host.engine.run(until=3 * SECOND)
+    assert tightener.tighten_count == 0
+    assert tightener.threshold == 1000.0
+
+
+def test_floor_respected(host):
+    tightener, _ = make_tightener(host, floor=50.0)
+    tightener.start()
+    feed(host, [1.0] * 200)
+    host.engine.run(until=4 * SECOND)
+    assert tightener.threshold == 50.0
+
+
+def test_ignores_other_keys_and_non_numeric(host):
+    tightener, _ = make_tightener(host)
+    tightener.start()
+    host.store.save("unrelated", 5.0)
+    host.store.save("metric", "not a number")
+    host.engine.run(until=2 * SECOND)
+    assert tightener._sample_count == 0
+
+
+def test_stop_halts_updates(host):
+    tightener, manager = make_tightener(host)
+    tightener.start()
+    feed(host, [10.0] * 400)
+    host.engine.run(until=2 * SECOND)
+    tightener.stop()
+    count = tightener.tighten_count
+    host.engine.run(until=6 * SECOND)
+    assert tightener.tighten_count == count
+
+
+def test_history_starts_with_initial(host):
+    tightener, _ = make_tightener(host)
+    assert tightener.history == [(0, 1000.0)]

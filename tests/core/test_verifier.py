@@ -1,0 +1,106 @@
+"""The eBPF-style static verifier."""
+
+import pytest
+
+from repro.core.compiler import GuardrailCompiler
+from repro.core.errors import VerifierError
+from repro.core.verifier import VerifierConfig
+
+
+def compile_text(text, **config_kwargs):
+    compiler = GuardrailCompiler(verifier_config=VerifierConfig(**config_kwargs))
+    return compiler.compile(text)
+
+
+def guardrail(rules, trigger="TIMER(start_time, 1s)", actions="REPORT()"):
+    return "guardrail g {{ trigger: {{ {} }}, rule: {{ {} }}, action: {{ {} }} }}".format(
+        trigger, rules, actions
+    )
+
+
+def test_simple_guardrail_admitted_with_costs():
+    compiled = compile_text(guardrail("LOAD(a) <= 1"))
+    assert compiled.verification.total_cost > 0
+    assert len(compiled.verification.rule_costs) == 1
+
+
+def test_rule_over_budget_rejected():
+    with pytest.raises(VerifierError, match="budget"):
+        compile_text(guardrail("LOAD(a) <= 1"), max_rule_cost=2)
+
+
+def test_total_budget_rejected():
+    rules = ", ".join("LOAD(k{}) <= 1".format(i) for i in range(10))
+    with pytest.raises(VerifierError, match="total rule cost"):
+        compile_text(guardrail(rules), max_total_cost=20, max_rules=16)
+
+
+def test_too_many_rules_rejected():
+    rules = ", ".join("LOAD(k{}) <= 1".format(i) for i in range(5))
+    with pytest.raises(VerifierError, match="rules, max"):
+        compile_text(guardrail(rules), max_rules=3)
+
+
+def test_too_many_actions_rejected():
+    actions = ", ".join(["REPORT()"] * 4)
+    with pytest.raises(VerifierError, match="actions, max"):
+        compile_text(guardrail("LOAD(a) <= 1", actions=actions), max_actions=2)
+
+
+def test_too_many_triggers_rejected():
+    triggers = ", ".join(["TIMER(start_time, 1s)"] * 3)
+    with pytest.raises(VerifierError, match="triggers, max"):
+        compile_text(guardrail("LOAD(a) <= 1", trigger=triggers), max_triggers=2)
+
+
+def test_timer_below_minimum_interval_rejected():
+    with pytest.raises(VerifierError, match="below the minimum"):
+        compile_text(guardrail("LOAD(a) <= 1", trigger="TIMER(start_time, 1us)"))
+
+
+def test_min_timer_interval_configurable():
+    compiled = compile_text(
+        guardrail("LOAD(a) <= 1", trigger="TIMER(start_time, 1us)"),
+        min_timer_interval=100, max_ops_per_second=10_000_000,
+    )
+    assert compiled.trigger_params[0][2] == 1000
+
+
+def test_ops_rate_budget_enforced():
+    with pytest.raises(VerifierError, match="ops/s"):
+        compile_text(
+            guardrail("LOAD(a) <= 1", trigger="TIMER(start_time, 1ms)"),
+            max_ops_per_second=100,
+        )
+
+
+def test_function_trigger_gets_stricter_inline_budget():
+    big_rule = " + ".join(["LOAD(a)"] * 20) + " <= 100"
+    # Admitted under a TIMER...
+    compile_text(guardrail(big_rule))
+    # ...but rejected when FUNCTION-triggered.
+    with pytest.raises(VerifierError, match="inline budget"):
+        compile_text(
+            "guardrail g { trigger: { FUNCTION(hook) }, "
+            "rule: { " + big_rule + " }, action: { REPORT() } }",
+            max_inline_rule_cost=32,
+        )
+
+
+def test_expensive_save_action_rejected():
+    expression = " + ".join(["LOAD(a)"] * 30)
+    with pytest.raises(VerifierError, match="action SAVE"):
+        compile_text(
+            guardrail("LOAD(a) <= 1",
+                      actions="SAVE(k, {})".format(expression)),
+            max_rule_cost=50,
+        )
+
+
+def test_verification_result_exposes_rate_estimate():
+    compiled = compile_text(guardrail("LOAD(a) <= 1"))
+    # cost 5 per check at 1 check/second
+    assert compiled.verification.estimated_ops_per_second == pytest.approx(
+        compiled.verification.total_cost, rel=0.01
+    )
+    assert "VerificationResult" in repr(compiled.verification)

@@ -1,0 +1,80 @@
+"""Drift metrics: PSI, KS, quartile shift, reports."""
+
+import numpy as np
+import pytest
+
+from repro.detect.drift import (
+    DriftReport,
+    ks_statistic,
+    population_stability_index,
+    quartile_shift,
+)
+from repro.detect.histogram import Histogram
+
+
+def _hist(values, lo=0, hi=100, bins=20):
+    h = Histogram(lo, hi, bins)
+    h.update_many(values)
+    return h
+
+
+def test_identical_distributions_score_near_zero():
+    rng = np.random.default_rng(0)
+    ref = _hist(rng.uniform(0, 100, 5000))
+    live = _hist(rng.uniform(0, 100, 5000))
+    assert population_stability_index(ref, live) < 0.02
+    assert ks_statistic(ref, live) < 0.05
+
+
+def test_shifted_distribution_scores_high():
+    rng = np.random.default_rng(0)
+    ref = _hist(rng.normal(30, 5, 5000))
+    live = _hist(rng.normal(70, 5, 5000))
+    assert population_stability_index(ref, live) > 1.0
+    assert ks_statistic(ref, live) > 0.5
+
+
+def test_psi_is_symmetric_in_magnitude():
+    rng = np.random.default_rng(1)
+    a = _hist(rng.normal(40, 5, 3000))
+    b = _hist(rng.normal(60, 5, 3000))
+    assert population_stability_index(a, b) == pytest.approx(
+        population_stability_index(b, a), rel=0.3
+    )
+
+
+def test_incompatible_histograms_raise():
+    with pytest.raises(ValueError, match="not comparable"):
+        ks_statistic(_hist([], bins=10), _hist([], bins=20))
+
+
+def test_quartile_shift():
+    assert quartile_shift((10, 20, 30), (10, 20, 30), scale=10) == 0.0
+    assert quartile_shift((10, 20, 30), (15, 20, 30), scale=10) == 0.5
+
+
+def test_quartile_shift_bad_scale():
+    with pytest.raises(ValueError):
+        quartile_shift((1, 2, 3), (1, 2, 3), scale=0)
+
+
+def test_drift_report_verdict():
+    rng = np.random.default_rng(2)
+    ref = _hist(rng.normal(50, 5, 3000))
+    same = _hist(rng.normal(50, 5, 3000))
+    moved = _hist(rng.normal(90, 5, 3000))
+
+    ok = DriftReport.from_histograms("f", ref, same)
+    assert not ok.drifted
+    bad = DriftReport.from_histograms("f", ref, moved)
+    assert bad.drifted
+    assert "drifted=True" in repr(bad)
+
+
+def test_drift_report_out_of_range_alone_trips():
+    ref = _hist(np.linspace(0, 99, 100))
+    live = Histogram(0, 100, 20)
+    live.update_many([150] * 10 + [50] * 10)
+    report = DriftReport.from_histograms("f", ref, live)
+    assert report.out_of_range == 0.5
+    assert report.drifted

@@ -1,0 +1,75 @@
+"""Fixed-bin histograms."""
+
+import pytest
+
+from repro.detect.histogram import Histogram
+
+
+def test_bin_assignment():
+    h = Histogram(0, 10, 5)
+    h.update(0.5)
+    h.update(9.9)
+    assert h.counts == [1, 0, 0, 0, 1]
+
+
+def test_underflow_overflow():
+    h = Histogram(0, 10, 2)
+    h.update(-1)
+    h.update(10)   # hi edge counts as overflow (half-open range)
+    h.update(11)
+    assert h.underflow == 1
+    assert h.overflow == 2
+    assert h.out_of_range_fraction() == 1.0
+
+
+def test_total_counts_everything():
+    h = Histogram(0, 10, 2)
+    h.update_many([-5, 5, 15])
+    assert h.total == 3
+
+
+def test_proportions_sum_to_one_ish():
+    h = Histogram(0, 10, 4)
+    h.update_many(range(10))
+    assert sum(h.proportions()) == pytest.approx(1.0, abs=1e-4)
+
+
+def test_proportions_floor_keeps_positive():
+    h = Histogram(0, 10, 4)
+    h.update(1)
+    assert all(p > 0 for p in h.proportions())
+
+
+def test_cdf_monotone_ending_at_one():
+    h = Histogram(0, 10, 4)
+    h.update_many([1, 2, 3, 7, 9])
+    cdf = h.cdf()
+    assert all(a <= b for a, b in zip(cdf, cdf[1:]))
+    assert cdf[-1] == pytest.approx(1.0)
+
+
+def test_compatibility():
+    a = Histogram(0, 10, 4)
+    assert a.compatible_with(Histogram(0, 10, 4))
+    assert not a.compatible_with(Histogram(0, 10, 5))
+    assert not a.compatible_with(Histogram(0, 11, 4))
+
+
+def test_reset():
+    h = Histogram(0, 10, 2)
+    h.update_many([1, 20])
+    h.reset()
+    assert h.total == 0
+    assert h.overflow == 0
+    assert h.counts == [0, 0]
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        Histogram(5, 5, 3)
+    with pytest.raises(ValueError):
+        Histogram(0, 1, 0)
+
+
+def test_out_of_range_fraction_empty_is_zero():
+    assert Histogram(0, 1, 1).out_of_range_fraction() == 0.0

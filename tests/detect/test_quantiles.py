@@ -1,0 +1,67 @@
+"""P² streaming quantiles against exact numpy quantiles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detect.quantiles import P2Quantile
+
+
+def test_bad_q_raises():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_empty_is_nan():
+    assert math.isnan(P2Quantile(0.5).value)
+
+
+def test_fewer_than_five_samples_uses_exact():
+    q = P2Quantile(0.5)
+    for v in [3.0, 1.0, 2.0]:
+        q.update(v)
+    assert q.value == 2.0
+
+
+@pytest.mark.parametrize("quantile", [0.5, 0.9, 0.99])
+def test_tracks_uniform_distribution(quantile):
+    rng = np.random.default_rng(0)
+    estimator = P2Quantile(quantile)
+    data = rng.uniform(0, 100, 5000)
+    for v in data:
+        estimator.update(v)
+    exact = np.quantile(data, quantile)
+    assert estimator.value == pytest.approx(exact, abs=3.0)
+
+
+def test_tracks_lognormal_median():
+    rng = np.random.default_rng(1)
+    estimator = P2Quantile(0.5)
+    data = rng.lognormal(3.0, 0.5, 5000)
+    for v in data:
+        estimator.update(v)
+    assert estimator.value == pytest.approx(np.median(data), rel=0.05)
+
+
+def test_count_increments():
+    q = P2Quantile(0.5)
+    for v in range(10):
+        q.update(v)
+    assert q.count == 10
+
+
+def test_monotone_data():
+    q = P2Quantile(0.9)
+    for v in range(1000):
+        q.update(float(v))
+    assert q.value == pytest.approx(900, abs=20)
+
+
+def test_constant_data():
+    q = P2Quantile(0.5)
+    for _ in range(100):
+        q.update(5.0)
+    assert q.value == 5.0

@@ -1,0 +1,88 @@
+"""Sliding and tumbling windows."""
+
+import math
+
+import pytest
+
+from repro.detect.windows import SlidingWindow, TumblingWindow
+
+
+class TestSlidingWindow:
+    def test_caps_at_size(self):
+        w = SlidingWindow(3)
+        for v in range(10):
+            w.update(v)
+        assert w.values() == [7, 8, 9]
+        assert w.full
+
+    def test_stats(self):
+        w = SlidingWindow(5)
+        for v in [1, 2, 3, 4]:
+            w.update(v)
+        assert w.mean() == 2.5
+        assert w.min() == 1
+        assert w.max() == 4
+        assert w.variance() == pytest.approx(5 / 3)
+
+    def test_empty_stats_are_nan(self):
+        w = SlidingWindow(3)
+        assert math.isnan(w.mean())
+        assert math.isnan(w.min())
+        assert math.isnan(w.variance())
+
+    def test_variance_single_sample_nan(self):
+        w = SlidingWindow(3)
+        w.update(1)
+        assert math.isnan(w.variance())
+
+    def test_quartiles(self):
+        w = SlidingWindow(5)
+        for v in [10, 20, 30, 40, 50]:
+            w.update(v)
+        assert w.quartiles() == (20, 30, 40)
+
+    def test_quartiles_empty(self):
+        q = SlidingWindow(3).quartiles()
+        assert all(math.isnan(v) for v in q)
+
+    def test_fraction(self):
+        w = SlidingWindow(4)
+        for v in [1, 5, 9, 3]:
+            w.update(v)
+        assert w.fraction(lambda v: v > 4) == 0.5
+
+    def test_fraction_empty_is_zero(self):
+        assert SlidingWindow(3).fraction(lambda v: True) == 0.0
+
+    def test_reset(self):
+        w = SlidingWindow(3)
+        w.update(1)
+        w.reset()
+        assert len(w) == 0
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+class TestTumblingWindow:
+    def test_close_summarizes_and_resets(self):
+        w = TumblingWindow()
+        for v in [1.0, 2.0, 3.0]:
+            w.update(v)
+        summary = w.close()
+        assert summary == {"count": 3, "mean": 2.0, "min": 1.0, "max": 3.0}
+        assert len(w) == 0
+        assert w.closed_windows == 1
+
+    def test_close_empty_window(self):
+        summary = TumblingWindow().close()
+        assert summary["count"] == 0
+        assert math.isnan(summary["mean"])
+
+    def test_windows_are_independent(self):
+        w = TumblingWindow()
+        w.update(10)
+        w.close()
+        w.update(2)
+        assert w.close()["mean"] == 2

@@ -1,0 +1,73 @@
+"""Figure 2 regression: the paper's experiment, shape-checked.
+
+Expensive (trains the model, runs three deployments); marked so it can be
+deselected with ``-m 'not slow'`` during quick iterations.
+"""
+
+import pytest
+
+from repro.bench.scenarios import run_figure2_scenario, train_default_linnos_model
+
+DRIFT_AT_S = 6
+DURATION_S = 16
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def model():
+    return train_default_linnos_model(seed=1, train_seconds=12)
+
+
+@pytest.fixture(scope="module")
+def results(model):
+    return {
+        mode: run_figure2_scenario(model, mode, seed=2, drift_at_s=DRIFT_AT_S,
+                                   duration_s=DURATION_S)
+        for mode in ("baseline", "linnos", "guarded")
+    }
+
+
+def test_pre_drift_model_beats_baseline(results):
+    lin = results["linnos"].mean_between(1, DRIFT_AT_S)
+    base = results["baseline"].mean_between(1, DRIFT_AT_S)
+    assert lin < base * 0.7
+
+
+def test_post_drift_unguarded_model_is_worst(results):
+    lin = results["linnos"].mean_between(DRIFT_AT_S + 2, DURATION_S)
+    base = results["baseline"].mean_between(DRIFT_AT_S + 2, DURATION_S)
+    assert lin > base * 1.1
+
+
+def test_guardrail_triggers_shortly_after_drift(results):
+    from repro.sim.units import SECOND
+
+    guarded = results["guarded"]
+    saves = guarded.kernel.reporter.notes_for(kind="SAVE")
+    assert saves, "guardrail never fired"
+    trigger_time = saves[0]["time"]
+    assert DRIFT_AT_S * SECOND < trigger_time <= (DRIFT_AT_S + 3) * SECOND
+    assert guarded.ml_enabled is False
+
+
+def test_post_trigger_latency_improves_toward_baseline(results):
+    lin = results["linnos"].mean_between(DRIFT_AT_S + 2, DURATION_S)
+    guarded = results["guarded"].mean_between(DRIFT_AT_S + 2, DURATION_S)
+    base = results["baseline"].mean_between(DRIFT_AT_S + 2, DURATION_S)
+    assert guarded < lin * 0.92          # visible improvement (Figure 2 drop)
+    assert guarded < base * 1.25         # lands near the fallback's level
+
+
+def test_false_submits_mostly_stopped_after_trigger(results):
+    assert results["guarded"].false_submits < results["linnos"].false_submits / 3
+
+
+def test_curves_identical_before_drift(results):
+    # Same seed, same policy: the guarded run only diverges once the
+    # guardrail acts.
+    lin = results["linnos"].per_second_means()
+    guarded = results["guarded"].per_second_means()
+    for (b1, v1), (b2, v2) in zip(lin[:DRIFT_AT_S], guarded[:DRIFT_AT_S]):
+        assert b1 == b2
+        assert v1 == pytest.approx(v2)

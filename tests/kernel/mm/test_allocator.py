@@ -1,0 +1,85 @@
+"""Memory allocator and the P3 surface."""
+
+import pytest
+
+from repro.kernel.mm import MemoryAllocator
+
+
+@pytest.fixture
+def alloc(kernel):
+    return kernel.attach("mm", MemoryAllocator(kernel, total_pages=1000))
+
+
+def test_needs_positive_total(kernel):
+    with pytest.raises(ValueError):
+        MemoryAllocator(kernel, 0)
+
+
+def test_baseline_grants_exact_request(kernel, alloc):
+    assert alloc.allocate(10) == 10
+    assert alloc.used_pages == 10
+    assert alloc.available_pages == 990
+
+
+def test_invalid_request_rejected(kernel, alloc):
+    with pytest.raises(ValueError):
+        alloc.allocate(0)
+
+
+def test_free_returns_pages(kernel, alloc):
+    alloc.allocate(100)
+    alloc.free(40)
+    assert alloc.used_pages == 60
+
+
+def test_free_validation(kernel, alloc):
+    alloc.allocate(10)
+    with pytest.raises(ValueError):
+        alloc.free(11)
+    with pytest.raises(ValueError):
+        alloc.free(-1)
+
+
+def test_hook_sees_raw_policy_output_before_clamp(kernel, alloc):
+    kernel.functions.register_implementation(
+        "mm.greedy", lambda requested, available: 10_000)
+    kernel.functions.replace("mm.prealloc_size", "mm.greedy")
+    payloads = []
+    kernel.hooks.get("mm.alloc").attach(lambda n, t, p: payloads.append(p))
+    alloc.allocate(5)
+    assert payloads[0]["granted"] == 10_000
+    assert payloads[0]["out_of_bounds"] is True
+    assert alloc.out_of_bounds_grants == 1
+
+
+def test_clamp_keeps_allocator_safe(kernel, alloc):
+    kernel.functions.register_implementation(
+        "mm.greedy", lambda requested, available: 10_000)
+    kernel.functions.replace("mm.prealloc_size", "mm.greedy")
+    granted = alloc.allocate(5)
+    # Clamped to available, never more.
+    assert granted == 1000
+    assert alloc.used_pages == 1000
+
+
+def test_undersized_grant_is_out_of_bounds_but_request_served(kernel, alloc):
+    kernel.functions.register_implementation(
+        "mm.stingy", lambda requested, available: 0)
+    kernel.functions.replace("mm.prealloc_size", "mm.stingy")
+    granted = alloc.allocate(5)
+    assert granted == 5
+    assert alloc.out_of_bounds_grants == 1
+
+
+def test_allocation_fails_when_no_memory(kernel, alloc):
+    alloc.allocate(1000)
+    assert alloc.allocate(1) == 0
+    assert alloc.failed_allocations == 1
+    assert kernel.metrics.counter("mm.failed_allocations") == 1
+
+
+def test_store_keys_published(kernel, alloc):
+    alloc.allocate(10)
+    assert kernel.store.load("mm.available_pages") == 990
+    assert kernel.store.load("mm.last_grant") == 10
+    assert kernel.store.load("mm.grant_out_of_bounds") == 0

@@ -1,0 +1,73 @@
+"""Page-fault path with huge-page promotion."""
+
+import pytest
+
+from repro.kernel.mm import PageFaultHandler
+
+
+@pytest.fixture
+def faults(kernel):
+    return kernel.attach("mm", PageFaultHandler(kernel))
+
+
+def test_baseline_never_promotes(kernel, faults):
+    for i in range(50):
+        faults.fault(address=i)
+    assert faults.promotion_count == 0
+    assert faults.fault_count == 50
+
+
+def test_baseline_faults_are_fast(kernel, faults):
+    latencies = [faults.fault() for _ in range(100)]
+    assert max(latencies) < 1.0  # well under a millisecond
+
+
+def test_fragmentation_validation(kernel, faults):
+    with pytest.raises(ValueError):
+        faults.set_fragmentation(1.5)
+
+
+def test_promotion_cheap_when_defragmented(kernel, faults):
+    kernel.functions.register_implementation("mm.always", lambda ctx: True)
+    kernel.functions.replace("mm.promote_hugepage", "mm.always")
+    faults.set_fragmentation(0.0)
+    latency = faults.fault()
+    assert latency < 1.0
+    assert faults.promotion_count == 1
+    assert faults.stalled_promotions == 0
+
+
+def test_promotion_stalls_under_fragmentation(kernel, faults):
+    kernel.functions.register_implementation("mm.always", lambda ctx: True)
+    kernel.functions.replace("mm.promote_hugepage", "mm.always")
+    faults.set_fragmentation(0.9)
+    latencies = [faults.fault() for _ in range(20)]
+    # CBMM territory: hundreds of ms at high fragmentation.
+    assert max(latencies) > 100.0
+    assert faults.stalled_promotions > 0
+
+
+def test_policy_sees_fragmentation_in_context(kernel, faults):
+    contexts = []
+    kernel.functions.register_implementation(
+        "mm.spy", lambda ctx: contexts.append(ctx) or False)
+    kernel.functions.replace("mm.promote_hugepage", "mm.spy")
+    faults.set_fragmentation(0.4)
+    faults.fault(process="db")
+    assert contexts[0]["fragmentation"] == 0.4
+    assert contexts[0]["process"] == "db"
+
+
+def test_latency_published_with_derived_average(kernel, faults):
+    for _ in range(10):
+        faults.fault()
+    assert kernel.store.load("mm.page_fault_latency_ms") > 0
+    assert kernel.store.load("mm.page_fault_latency_ms.avg") > 0
+
+
+def test_hook_fires_per_fault(kernel, faults):
+    events = []
+    kernel.hooks.get("mm.page_fault").attach(lambda n, t, p: events.append(p))
+    faults.fault()
+    assert len(events) == 1
+    assert events[0]["promote"] is False

@@ -1,0 +1,137 @@
+"""CPU scheduler: CFS fairness, hooks, task controller, starvation metric."""
+
+import pytest
+
+from repro.kernel.sched import CpuScheduler
+from repro.sim.units import MILLISECOND, SECOND
+
+
+@pytest.fixture
+def sched(kernel):
+    return kernel.attach("sched", CpuScheduler(kernel))
+
+
+def test_cfs_shares_cpu_fairly(kernel, sched):
+    for name in ("a", "b", "c"):
+        sched.spawn(name, burst_ns=10 * MILLISECOND)
+    kernel.run(until=3 * SECOND)
+    stats = sched.wait_stats()
+    executed = [stats[n]["executed_ms"] for n in ("a", "b", "c")]
+    assert max(executed) - min(executed) <= 15  # within a few timeslices
+
+
+def test_nice_tasks_get_less_cpu(kernel, sched):
+    sched.spawn("normal", burst_ns=10 * MILLISECOND, nice=0)
+    sched.spawn("nice", burst_ns=10 * MILLISECOND, nice=10)
+    kernel.run(until=3 * SECOND)
+    stats = sched.wait_stats()
+    assert stats["normal"]["executed_ms"] > stats["nice"]["executed_ms"] * 2
+
+
+def test_finite_task_finishes_and_counts(kernel, sched):
+    sched.spawn("short", burst_ns=5 * MILLISECOND, total_work_ns=20 * MILLISECOND)
+    kernel.run(until=1 * SECOND)
+    assert kernel.metrics.counter("sched.finished") == 1
+    assert not sched.find_task("short").alive
+
+
+def test_duplicate_task_name_rejected(kernel, sched):
+    sched.spawn("t")
+    with pytest.raises(ValueError):
+        sched.spawn("t")
+
+
+def test_idle_when_no_tasks(kernel, sched):
+    kernel.run(until=1 * SECOND)
+    assert sched.context_switches == 0
+
+
+def test_wakeup_after_think_time(kernel, sched):
+    sched.spawn("thinker", burst_ns=1 * MILLISECOND, think_ns=10 * MILLISECOND)
+    kernel.run(until=1 * SECOND)
+    task = sched.find_task("thinker")
+    # ~1ms run + 10ms think per cycle -> ~90 dispatches per second.
+    assert 60 <= task.dispatch_count <= 120
+
+
+def test_pick_hook_fires(kernel, sched):
+    picks = []
+    kernel.hooks.get("sched.pick_next_task").attach(
+        lambda n, t, p: picks.append(p["task"]))
+    sched.spawn("only", burst_ns=2 * MILLISECOND)
+    kernel.run(until=50 * MILLISECOND)
+    assert picks and set(picks) == {"only"}
+
+
+def test_max_wait_published_to_store(kernel, sched):
+    sched.spawn("a", burst_ns=50 * MILLISECOND)
+    sched.spawn("b", burst_ns=50 * MILLISECOND)
+    kernel.run(until=1 * SECOND)
+    assert kernel.store.load("sched.max_wait_ms") >= 0.0
+    assert kernel.store.load("sched.wait_ms.avg") is not None
+
+
+def test_kill_removes_from_scheduling(kernel, sched):
+    sched.spawn("victim", burst_ns=10 * MILLISECOND)
+    sched.spawn("other", burst_ns=10 * MILLISECOND)
+    kernel.run(until=100 * MILLISECOND)
+    victim = sched.find_task("victim")
+    sched.kill(victim)
+    executed = victim.executed_ns
+    kernel.run(until=1 * SECOND)
+    assert victim.executed_ns == executed
+
+
+class TestTaskController:
+    def test_renice(self, kernel, sched):
+        sched.spawn("t", burst_ns=10 * MILLISECOND)
+        kernel.task_controller.deprioritize(["t"], [10])
+        assert sched.find_task("t").nice == 10
+        assert kernel.task_controller.renice_count == 1
+
+    def test_kill_below_threshold(self, kernel, sched):
+        sched.spawn("t", burst_ns=10 * MILLISECOND)
+        kernel.task_controller.deprioritize(["t"], [0])
+        assert sched.find_task("t").killed
+        assert kernel.task_controller.kill_count == 1
+
+    def test_unknown_target_ignored(self, kernel, sched):
+        kernel.task_controller.deprioritize(["ghost"], [1])
+        assert kernel.task_controller.renice_count == 0
+
+    def test_wired_as_kernel_task_controller(self, kernel, sched):
+        from repro.kernel.sched.scheduler import SchedulerTaskController
+
+        assert isinstance(kernel.task_controller, SchedulerTaskController)
+
+
+def test_custom_picker_via_slot(kernel, sched):
+    sched.spawn("a", burst_ns=5 * MILLISECOND)
+    sched.spawn("b", burst_ns=5 * MILLISECOND)
+
+    def favor_b(scheduler):
+        runnable = scheduler.runnable_tasks()
+        b = [t for t in runnable if t.name == "b"]
+        return b[0] if b else (runnable[0] if runnable else None)
+
+    kernel.functions.register_implementation("sched.favor_b", favor_b)
+    kernel.functions.replace("sched.pick_next", "sched.favor_b")
+    kernel.run(until=1 * SECOND)
+    stats = sched.wait_stats()
+    assert stats["b"]["executed_ms"] > stats["a"]["executed_ms"] * 3
+
+
+def test_replace_back_to_cfs_restores_fairness(kernel, sched):
+    sched.spawn("a", burst_ns=5 * MILLISECOND)
+    sched.spawn("b", burst_ns=5 * MILLISECOND)
+    kernel.functions.register_implementation(
+        "sched.only_a",
+        lambda s: next((t for t in s.runnable_tasks() if t.name == "a"), None),
+    )
+    kernel.functions.replace("sched.pick_next", "sched.only_a")
+    kernel.run(until=1 * SECOND)
+    kernel.functions.replace("sched.pick_next", "sched.cfs")
+    kernel.run(until=3 * SECOND)
+    stats = sched.wait_stats()
+    # b catches up under CFS (min vruntime picks it exclusively for a while).
+    assert stats["b"]["executed_ms"] > 900

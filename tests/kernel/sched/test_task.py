@@ -1,0 +1,72 @@
+"""Task accounting."""
+
+import pytest
+
+from repro.kernel.sched.task import Task, nice_to_weight
+
+
+def test_nice_weight_monotone():
+    assert nice_to_weight(-5) > nice_to_weight(0) > nice_to_weight(5)
+    assert nice_to_weight(0) == 1024
+
+
+def test_nice_bounds():
+    with pytest.raises(ValueError):
+        nice_to_weight(-21)
+    with pytest.raises(ValueError):
+        nice_to_weight(20)
+
+
+def test_wait_accounting():
+    task = Task("t")
+    task.mark_runnable(100)
+    assert task.waiting_ns(250) == 150
+    task.record_dispatch(250)
+    assert task.total_wait_ns == 150
+    assert task.max_wait_ns == 150
+    assert task.waiting_ns(300) == 0  # no longer waiting while running
+    assert task.wait_samples == [150]
+
+
+def test_dispatch_without_runnable_mark():
+    task = Task("t")
+    task.record_dispatch(10)
+    assert task.total_wait_ns == 0
+    assert task.dispatch_count == 1
+
+
+def test_account_run_vruntime_weighted():
+    normal = Task("a", nice=0)
+    nice_task = Task("b", nice=5)
+    normal.account_run(1000)
+    nice_task.account_run(1000)
+    # Lower weight (positive nice) accrues vruntime faster.
+    assert nice_task.vruntime > normal.vruntime
+
+
+def test_finite_work_completes():
+    task = Task("t", burst_ns=100, total_work_ns=250)
+    assert not task.account_run(100)
+    assert not task.account_run(100)
+    assert task.account_run(100)
+    assert task.finished
+    assert not task.alive
+
+
+def test_kill_marks_dead():
+    task = Task("t")
+    task.killed = True
+    assert not task.alive
+
+
+def test_set_nice_updates_weight():
+    task = Task("t")
+    before = task.weight
+    task.set_nice(10)
+    assert task.weight < before
+
+
+def test_remaining_burst_decrements():
+    task = Task("t", burst_ns=1000)
+    task.account_run(400)
+    assert task.remaining_burst_ns == 600

@@ -1,0 +1,77 @@
+"""Learned preallocation: extrapolation behavior and the P3 bug."""
+
+import pytest
+
+from repro.kernel.mm import MemoryAllocator
+from repro.policies.prealloc import LearnedPreallocPolicy, clamped_prealloc
+
+
+def test_steady_requests_get_modest_headroom():
+    policy = LearnedPreallocPolicy()
+    grants = [policy(10, 1000) for _ in range(10)]
+    # Flat history -> headroom ~ latest request, no blowup.
+    assert all(10 <= g <= 30 for g in grants)
+
+
+def test_ramp_extrapolates_beyond_latest():
+    policy = LearnedPreallocPolicy(horizon=4.0)
+    for size in [10, 20, 30, 40]:
+        last = policy(size, 10_000)
+    # slope 10/request, horizon 4 -> predicted demand 40 + 40 = 80.
+    assert last == 40 + 80
+
+
+def test_burst_can_exceed_available_memory():
+    policy = LearnedPreallocPolicy(horizon=8.0)
+    for size in [10, 20, 40, 80, 160, 320]:
+        grant = policy(size, 500)
+    assert grant > 500  # out of bounds: the P3 violation
+
+
+def test_never_grants_below_request_plus_zero():
+    policy = LearnedPreallocPolicy()
+    # Decreasing sizes: negative slope could push the headroom negative;
+    # the predictor clamps predicted demand at 0.
+    for size in [100, 80, 60, 40, 20, 10, 5]:
+        grant = policy(size, 10_000)
+        assert grant >= size
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        LearnedPreallocPolicy(window=1)
+
+
+def test_clamped_wrapper_respects_bounds():
+    policy = LearnedPreallocPolicy(horizon=8.0)
+    safe = clamped_prealloc(policy)
+    for size in [10, 20, 40, 80, 160, 320]:
+        grant = safe(size, 500)
+        assert size <= grant <= 500
+
+
+def test_end_to_end_p3_guardrail_replaces(kernel):
+    from repro.core.properties import output_bounds
+
+    alloc = kernel.attach("mm", MemoryAllocator(kernel, total_pages=500))
+    learned = LearnedPreallocPolicy(horizon=8.0)
+    kernel.functions.register_implementation("mm.learned", learned)
+    kernel.functions.register_implementation("mm.safe", clamped_prealloc(learned))
+    kernel.functions.replace("mm.prealloc_size", "mm.learned")
+    monitor = kernel.guardrails.load(output_bounds(
+        "mm", "mm.alloc", "granted <= available && granted >= requested",
+        "mm.prealloc_size", "mm.safe",
+    ))
+    for size in [10, 20, 40, 80, 160]:
+        alloc.allocate(size)
+        if alloc.used_pages > 400:
+            alloc.free(alloc.used_pages)
+    assert monitor.violation_count >= 1
+    assert kernel.functions.slot("mm.prealloc_size").current is not learned
+    # After the swap, the same burst stays in bounds.
+    before = alloc.out_of_bounds_grants
+    for size in [10, 20, 40, 80, 160]:
+        alloc.allocate(size)
+        if alloc.used_pages > 400:
+            alloc.free(alloc.used_pages)
+    assert alloc.out_of_bounds_grants == before

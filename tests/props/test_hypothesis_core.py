@@ -1,0 +1,141 @@
+"""Property-based tests: engine, feature store, expression language."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expr import EvalContext, compile_expression, static_cost
+from repro.core.featurestore import FeatureStore
+from repro.core.spec import ast as A
+from repro.sim.engine import Engine
+
+# -- engine ordering invariants ---------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10 ** 6), min_size=1,
+                max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert engine.now == max(delays)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=30),
+       st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_engine_run_until_is_a_clean_partition(delays, cutoff):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: fired.append(d))
+    engine.run(until=cutoff)
+    assert sorted(fired) == sorted(d for d in delays if d <= cutoff)
+    engine.run()
+    assert sorted(fired) == sorted(delays)
+
+
+# -- feature store invariants ------------------------------------------------
+
+
+@given(st.lists(st.tuples(
+    st.sampled_from(["a", "b", "c.d"]),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+), max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_store_load_returns_last_save(writes):
+    store = FeatureStore()
+    last = {}
+    for key, value in writes:
+        store.save(key, value)
+        last[key] = value
+    for key, value in last.items():
+        assert store.load(key) == value
+        assert store.version(key) == sum(1 for k, _ in writes if k == key)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=100),
+       st.integers(min_value=1, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_store_moving_average_matches_tail_mean(values, window):
+    store = FeatureStore()
+    store.derive_moving_average("x", window=window)
+    for v in values:
+        store.save("x", v)
+    tail = values[-window:]
+    assert math.isclose(store.load("x.avg"), sum(tail) / len(tail),
+                        rel_tol=1e-9, abs_tol=1e-6)
+
+
+# -- expression language invariants -----------------------------------------
+
+
+def _expr_strategy():
+    leaf = st.one_of(
+        st.floats(min_value=-100, max_value=100,
+                  allow_nan=False).map(A.NumberLiteral),
+        st.booleans().map(A.BoolLiteral),
+        st.sampled_from(["k1", "k2"]).map(A.Load),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(["+", "-", "*", "<=", "<", ">=", ">",
+                                       "&&", "||"]),
+                      children, children)
+            .map(lambda t: A.BinaryOp(t[0], t[1], t[2])),
+            st.tuples(st.sampled_from(["-", "!"]), children)
+            .map(lambda t: A.UnaryOp(t[0], t[1])),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=12)
+
+
+@given(_expr_strategy())
+@settings(max_examples=120, deadline=None)
+def test_runtime_ops_never_exceed_static_cost(expr):
+    store = FeatureStore()
+    store.save("k1", 3.0)  # k2 stays missing: exercises None paths
+    program = compile_expression(expr)
+    ctx = EvalContext(store)
+    program(ctx)  # must never raise
+    assert ctx.ops <= static_cost(expr)
+
+
+@given(_expr_strategy())
+@settings(max_examples=120, deadline=None)
+def test_expression_evaluation_is_deterministic(expr):
+    store = FeatureStore()
+    store.save("k1", 3.0)
+    store.save("k2", -7.5)
+    program = compile_expression(expr)
+    first = program(EvalContext(store))
+    second = program(EvalContext(store))
+    assert first == second
+
+
+@given(_expr_strategy())
+@settings(max_examples=100, deadline=None)
+def test_expression_source_roundtrip(expr):
+    from repro.core.spec.lexer import tokenize
+    from repro.core.spec.parser import _Parser
+
+    source = expr.to_source()
+    reparsed = _Parser(tokenize(source)).parse_expression()
+    store = FeatureStore()
+    store.save("k1", 1.0)
+    store.save("k2", 2.0)
+    a = compile_expression(expr)(EvalContext(store))
+    b = compile_expression(reparsed)(EvalContext(store))
+    if isinstance(a, float) and isinstance(b, float):
+        assert math.isclose(a, b, rel_tol=1e-12)
+    else:
+        assert a == b

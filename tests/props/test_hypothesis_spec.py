@@ -1,0 +1,101 @@
+"""Property-based tests: the DSL round-trips arbitrary generated guardrails."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import ast as A
+from repro.core.spec import parse_guardrail
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+dotted = st.builds(lambda a, b: "{}.{}".format(a, b), identifiers, identifiers)
+keys = st.one_of(identifiers, dotted)
+numbers = st.one_of(
+    st.integers(min_value=0, max_value=10 ** 12).map(A.NumberLiteral),
+    st.floats(min_value=0.001, max_value=1e6,
+              allow_nan=False).map(A.NumberLiteral),
+)
+
+
+def expressions():
+    leaf = st.one_of(
+        numbers,
+        st.booleans().map(A.BoolLiteral),
+        keys.map(A.Load),
+        identifiers.map(A.Name),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(["+", "-", "*", "/"]),
+                      children, children)
+            .map(lambda t: A.BinaryOp(t[0], t[1], t[2])),
+            st.tuples(children, children)
+            .map(lambda t: A.Call("min", [t[0], t[1]])),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=6)
+
+
+def rules():
+    return st.tuples(
+        st.sampled_from(["<=", "<", ">=", ">", "==", "!="]),
+        expressions(), expressions(),
+    ).map(lambda t: A.RuleSpec(A.BinaryOp(t[0], t[1], t[2])))
+
+
+def triggers():
+    timer = st.tuples(
+        st.integers(min_value=0, max_value=10 ** 10),
+        st.integers(min_value=1, max_value=10 ** 10),
+    ).map(lambda t: A.TimerTriggerSpec(A.NumberLiteral(t[0]),
+                                       A.NumberLiteral(t[1])))
+    function = dotted.map(A.FunctionTriggerSpec)
+    return st.one_of(timer, function)
+
+
+def actions():
+    report = st.lists(expressions(), max_size=2).map(A.ReportSpec)
+    save = st.tuples(keys, expressions()).map(lambda t: A.SaveSpec(t[0], t[1]))
+    retrain = st.tuples(identifiers, st.none() | expressions()).map(
+        lambda t: A.RetrainSpec(t[0], t[1]))
+    replace = st.tuples(dotted, dotted).filter(lambda t: t[0] != t[1]).map(
+        lambda t: A.ReplaceSpec(t[0], t[1]))
+    deprioritize = st.lists(
+        st.tuples(identifiers, st.integers(min_value=0, max_value=19)),
+        min_size=1, max_size=3, unique_by=lambda t: t[0],
+    ).map(lambda pairs: A.DeprioritizeSpec(
+        [name for name, _ in pairs],
+        [A.NumberLiteral(p) for _, p in pairs],
+    ))
+    return st.one_of(report, save, retrain, replace, deprioritize)
+
+
+guardrails = st.builds(
+    A.GuardrailSpec,
+    identifiers,
+    st.lists(triggers(), min_size=1, max_size=3),
+    st.lists(rules(), min_size=1, max_size=3),
+    st.lists(actions(), min_size=1, max_size=3),
+)
+
+
+@given(guardrails)
+@settings(max_examples=120, deadline=None)
+def test_generated_guardrails_roundtrip(spec):
+    source = spec.to_source()
+    reparsed = parse_guardrail(source)
+    assert reparsed == spec
+    assert parse_guardrail(reparsed.to_source()) == reparsed
+
+
+@given(guardrails)
+@settings(max_examples=60, deadline=None)
+def test_generated_guardrails_compile_or_fail_cleanly(spec):
+    from repro.core.compiler import GuardrailCompiler
+    from repro.core.errors import GuardrailError
+
+    try:
+        compiled = GuardrailCompiler().compile(spec)
+    except GuardrailError:
+        return  # verifier budgets may legitimately reject; never crash
+    assert compiled.verification.total_cost >= 1

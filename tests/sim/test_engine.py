@@ -1,0 +1,175 @@
+"""Engine: event ordering, cancellation, stop, run-until semantics."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_starts_at_time_zero(engine):
+    assert engine.now == 0
+
+
+def test_schedule_and_run_fires_callback(engine):
+    fired = []
+    engine.schedule(10, fired.append, "a")
+    engine.run()
+    assert fired == ["a"]
+    assert engine.now == 10
+
+
+def test_events_fire_in_time_order(engine):
+    order = []
+    engine.schedule(30, order.append, 3)
+    engine.schedule(10, order.append, 1)
+    engine.schedule(20, order.append, 2)
+    engine.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_time_events_fire_in_schedule_order(engine):
+    order = []
+    for i in range(5):
+        engine.schedule(10, order.append, i)
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_at_absolute_time(engine):
+    engine.schedule(5, lambda: None)
+    engine.run()
+    times = []
+    engine.schedule_at(12, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [12]
+
+
+def test_scheduling_in_the_past_raises(engine):
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_negative_delay_raises(engine):
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(engine):
+    fired = []
+    event = engine.schedule(10, fired.append, "x")
+    event.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(engine):
+    event = engine.schedule(10, lambda: None)
+    event.cancel()
+    event.cancel()
+    engine.run()
+
+
+def test_callback_can_schedule_more_events(engine):
+    seen = []
+
+    def chain(n):
+        seen.append(engine.now)
+        if n > 0:
+            engine.schedule(10, chain, n - 1)
+
+    engine.schedule(0, chain, 3)
+    engine.run()
+    assert seen == [0, 10, 20, 30]
+
+
+def test_run_until_stops_clock_exactly(engine):
+    engine.schedule(10, lambda: None)
+    engine.schedule(100, lambda: None)
+    engine.run(until=50)
+    assert engine.now == 50
+    assert engine.pending_events() == 1
+
+
+def test_run_until_fires_events_at_boundary(engine):
+    fired = []
+    engine.schedule(50, fired.append, "edge")
+    engine.run(until=50)
+    assert fired == ["edge"]
+
+
+def test_run_until_does_not_fire_later_events(engine):
+    fired = []
+    engine.schedule(51, fired.append, "late")
+    engine.run(until=50)
+    assert fired == []
+    engine.run(until=60)
+    assert fired == ["late"]
+
+
+def test_stop_halts_the_loop(engine):
+    fired = []
+    engine.schedule(10, fired.append, 1)
+    engine.schedule(20, lambda: engine.stop())
+    engine.schedule(30, fired.append, 3)
+    engine.run()
+    assert fired == [1]
+    assert engine.pending_events() == 1
+
+
+def test_reentrant_run_raises(engine):
+    def nested():
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    engine.schedule(1, nested)
+    engine.run()
+
+
+def test_step_returns_false_when_empty(engine):
+    assert engine.step() is False
+
+
+def test_step_fires_one_event(engine):
+    fired = []
+    engine.schedule(1, fired.append, "a")
+    engine.schedule(2, fired.append, "b")
+    assert engine.step() is True
+    assert fired == ["a"]
+
+
+def test_peek_skips_cancelled(engine):
+    event = engine.schedule(5, lambda: None)
+    engine.schedule(9, lambda: None)
+    event.cancel()
+    assert engine.peek() == 9
+
+
+def test_peek_empty_returns_none(engine):
+    assert engine.peek() is None
+
+
+def test_pending_events_counts_only_live(engine):
+    a = engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    a.cancel()
+    assert engine.pending_events() == 1
+
+
+def test_callback_args_passed_through(engine):
+    result = []
+    engine.schedule(1, lambda a, b: result.append((a, b)), 1, "x")
+    engine.run()
+    assert result == [(1, "x")]
+
+
+def test_event_repr_shows_state(engine):
+    event = engine.schedule(5, lambda: None)
+    assert "pending" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)
+
+
+def test_float_times_are_truncated_to_int(engine):
+    event = engine.schedule(10.7, lambda: None)
+    assert event.time == 10

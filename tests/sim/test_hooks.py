@@ -1,0 +1,96 @@
+"""Hook points and probes."""
+
+import pytest
+
+from repro.sim.hooks import HookRegistry, Probe
+
+
+@pytest.fixture
+def hooks(engine):
+    return HookRegistry(engine)
+
+
+def test_declare_creates_and_returns_same_point(hooks):
+    a = hooks.declare("x.y")
+    b = hooks.declare("x.y")
+    assert a is b
+
+
+def test_get_unknown_raises_with_known_names(hooks):
+    hooks.declare("a.b")
+    with pytest.raises(KeyError, match="a.b"):
+        hooks.get("nope")
+
+
+def test_fire_delivers_payload_and_time(engine, hooks):
+    point = hooks.declare("p")
+    seen = []
+    point.attach(lambda name, now, payload: seen.append((name, now, payload)))
+    engine.schedule(7, lambda: point.fire(value=3))
+    engine.run()
+    assert seen == [("p", 7, {"value": 3})]
+
+
+def test_fire_with_no_probes_is_cheap_noop(hooks):
+    point = hooks.declare("p")
+    point.fire(x=1)
+    assert point.fire_count == 1
+
+
+def test_multiple_probes_all_fire(hooks):
+    point = hooks.declare("p")
+    seen = []
+    point.attach(lambda *a: seen.append(1))
+    point.attach(lambda *a: seen.append(2))
+    point.fire()
+    assert sorted(seen) == [1, 2]
+
+
+def test_detach_stops_delivery(hooks):
+    point = hooks.declare("p")
+    seen = []
+    probe = point.attach(lambda *a: seen.append(1))
+    point.fire()
+    probe.detach()
+    point.fire()
+    assert seen == [1]
+    assert not probe.attached
+
+
+def test_detach_is_idempotent(hooks):
+    point = hooks.declare("p")
+    probe = point.attach(lambda *a: None)
+    probe.detach()
+    probe.detach()
+
+
+def test_probe_can_detach_itself_while_firing(hooks):
+    point = hooks.declare("p")
+    seen = []
+
+    def once(name, now, payload):
+        seen.append(now)
+        probe.detach()
+
+    probe = point.attach(once)
+    point.fire()
+    point.fire()
+    assert len(seen) == 1
+
+
+def test_reattaching_attached_probe_raises(hooks):
+    point = hooks.declare("p")
+    probe = Probe(lambda *a: None)
+    point.attach(probe)
+    with pytest.raises(ValueError):
+        hooks.declare("q").attach(probe)
+
+
+def test_probe_count_and_names(hooks):
+    point = hooks.declare("b")
+    hooks.declare("a")
+    point.attach(lambda *a: None)
+    assert point.probe_count == 1
+    assert hooks.names() == ["a", "b"]
+    assert "a" in hooks
+    assert "zz" not in hooks

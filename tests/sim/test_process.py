@@ -1,0 +1,118 @@
+"""Processes: sleep, conditions, exit values."""
+
+import pytest
+
+from repro.sim.process import Condition, Process, sleep, wait
+
+
+def test_process_runs_to_completion(engine):
+    log = []
+
+    def worker():
+        log.append(engine.now)
+        yield sleep(10)
+        log.append(engine.now)
+        yield sleep(5)
+        log.append(engine.now)
+
+    Process(engine, worker())
+    engine.run()
+    assert log == [0, 10, 15]
+
+
+def test_process_result_from_return(engine):
+    def worker():
+        yield sleep(1)
+        return 42
+
+    process = Process(engine, worker())
+    engine.run()
+    assert process.finished
+    assert process.result == 42
+
+
+def test_condition_wakes_waiter_with_value(engine):
+    condition = Condition()
+    seen = []
+
+    def waiter():
+        value = yield wait(condition)
+        seen.append((engine.now, value))
+
+    def firer():
+        yield sleep(20)
+        condition.fire("ping")
+
+    Process(engine, waiter())
+    Process(engine, firer())
+    engine.run()
+    assert seen == [(20, "ping")]
+
+
+def test_condition_wakes_all_waiters(engine):
+    condition = Condition()
+    woken = []
+
+    def waiter(name):
+        yield wait(condition)
+        woken.append(name)
+
+    for name in "abc":
+        Process(engine, waiter(name))
+
+    def firer():
+        yield sleep(1)
+        condition.fire()
+
+    Process(engine, firer())
+    engine.run()
+    assert sorted(woken) == ["a", "b", "c"]
+
+
+def test_waiter_count_tracks_registrations(engine):
+    condition = Condition()
+
+    def waiter():
+        yield wait(condition)
+
+    Process(engine, waiter())
+    engine.run(until=1)
+    assert condition.waiter_count == 1
+    condition.fire()
+    assert condition.waiter_count == 0
+
+
+def test_on_exit_condition_fires(engine):
+    order = []
+
+    def short():
+        yield sleep(5)
+        return "done"
+
+    def joiner(process):
+        result = yield wait(process.on_exit)
+        order.append((engine.now, result))
+
+    p = Process(engine, short())
+    Process(engine, joiner(p))
+    engine.run()
+    assert order == [(5, "done")]
+
+
+def test_bad_yield_raises_type_error(engine):
+    def worker():
+        yield "not a command"
+
+    Process(engine, worker(), name="bad")
+    with pytest.raises(TypeError, match="bad"):
+        engine.run()
+
+
+def test_process_repr(engine):
+    def worker():
+        yield sleep(1)
+
+    process = Process(engine, worker(), name="w")
+    assert "running" in repr(process)
+    engine.run()
+    assert "finished" in repr(process)

@@ -155,6 +155,60 @@ def run_closed_loop_scenario(model, seed=2, drift_at_s=6, duration_s=24,
     return Fig2Result("closed-loop", kernel, volume, policy), daemon
 
 
+TRACE_DEMO_SPECS = """
+// The `grctl trace` quick scenario: one TIMER guardrail with a SAVE+RETRAIN
+// remedy and one FUNCTION guardrail on the allocation hook, so a short run
+// exercises every tracepoint category.
+guardrail queue-bound {
+  trigger: { TIMER(start_time, 100ms) },
+  rule: { LOAD(queue_depth.avg) <= 8 },
+  action: { SAVE(throttle, true), RETRAIN(demo) }
+}
+guardrail alloc-bound {
+  trigger: { FUNCTION(mm.alloc) },
+  rule: { granted <= available },
+  action: { REPORT() }
+}
+"""
+
+
+def run_trace_demo_scenario(seed=7, duration_s=4):
+    """A small self-contained run that lights up every trace category.
+
+    A synthetic queue-depth ramp violates the TIMER guardrail mid-run
+    (SAVE + RETRAIN, drained by a registered no-op trainer) while a
+    periodic allocator fires ``mm.alloc`` with occasional over-grants for
+    the FUNCTION guardrail.  Returns the kernel for inspection.
+    """
+    from repro.core.retraining import RetrainDaemon
+
+    kernel = Kernel(seed=seed, retrain_min_interval=SECOND)
+    alloc_hook = kernel.hooks.declare("mm.alloc")
+    kernel.store.derive_moving_average("queue_depth", window=16)
+    kernel.guardrails.load_all(TRACE_DEMO_SPECS)
+
+    daemon = RetrainDaemon(kernel, poll_interval=SECOND // 2)
+    daemon.register("demo", lambda request: None,
+                    training_time=SECOND // 2)
+    daemon.start()
+
+    step_ns = 10 * SECOND // 1000  # 10 ms
+    ramp_at = duration_s * SECOND // 2
+
+    def tick(i):
+        now = kernel.engine.now
+        depth = 2 + (i % 4) if now < ramp_at else 10 + (i % 6)
+        kernel.store.save("queue_depth", depth)
+        if i % 5 == 0:
+            granted = 120 if i % 40 == 0 and now >= ramp_at else 40
+            alloc_hook.fire(granted=granted, available=100)
+        kernel.engine.schedule(step_ns, tick, i + 1)
+
+    kernel.engine.schedule(0, tick, 0)
+    kernel.run(until=duration_s * SECOND)
+    return kernel
+
+
 def run_figure2_scenario(model, mode, seed=2, drift_at_s=6, duration_s=18,
                          rate_ios=1200, guardrail_spec=LISTING2_SPEC):
     """One Figure 2 run.

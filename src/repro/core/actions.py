@@ -30,6 +30,10 @@ class Action:
     def execute(self, ctx):
         raise NotImplementedError
 
+    def trace_detail(self):
+        """Short static description attached to this action's trace events."""
+        return ""
+
     def __repr__(self):
         return "{}()".format(type(self).__name__)
 
@@ -73,6 +77,9 @@ class ReplaceAction(Action):
         self.old_function = old_function
         self.new_function = new_function
 
+    def trace_detail(self):
+        return "{} -> {}".format(self.old_function, self.new_function)
+
     def execute(self, ctx):
         ctx.host.functions.replace(self.old_function, self.new_function)
         ctx.host.reporter.note(
@@ -95,6 +102,9 @@ class RetrainAction(Action):
         self.model = model
         self.input_program = input_program
         self.input_source = input_source
+
+    def trace_detail(self):
+        return "model={}".format(self.model)
 
     def execute(self, ctx):
         data_ref = None
@@ -131,6 +141,11 @@ class DeprioritizeAction(Action):
         self.targets = list(targets)
         self.priorities = list(priorities)
 
+    def trace_detail(self):
+        return ", ".join(
+            "{}={}".format(t, p) for t, p in zip(self.targets, self.priorities)
+        )
+
     def execute(self, ctx):
         ctx.host.task_controller.deprioritize(self.targets, self.priorities)
         ctx.host.reporter.note(
@@ -154,6 +169,9 @@ class SaveAction(Action):
         self.key = key
         self.program = program
         self.source = source
+
+    def trace_detail(self):
+        return "{} = {}".format(self.key, self.source)
 
     def execute(self, ctx):
         from repro.core.expr import EvalContext

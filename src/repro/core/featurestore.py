@@ -21,6 +21,7 @@ import re
 from repro.core.errors import StoreError
 from repro.detect.quantiles import P2Quantile
 from repro.detect.streaming import Ewma, MovingAverage, RateCounter, WindowedMean
+from repro.trace.tracer import TRACER
 
 _KEY_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*$")
 
@@ -95,6 +96,13 @@ class FeatureStore:
             )
         now = self._clock()
         self.save_count += 1
+        if TRACER.active:
+            TRACER.emit(
+                "featurestore.save", key, now,
+                args={"value": value}
+                if isinstance(value, (bool, int, float, str)) or value is None
+                else None,
+            )
         self._values[key] = value
         self._bump(key, value, now)
         if isinstance(value, bool):

@@ -10,6 +10,7 @@ from repro.core.featurestore import FeatureStore
 from repro.core.functions import FunctionTable
 from repro.sim.engine import Engine
 from repro.sim.hooks import HookRegistry
+from repro.trace.tracer import TRACER
 
 
 class ViolationReporter:
@@ -83,7 +84,13 @@ class RetrainQueue:
         last = self._last_accepted.get(model)
         if last is not None and now - last < self.min_interval:
             self.rejected_count += 1
+            if TRACER.active:
+                TRACER.emit("retrain", "request", now, guardrail=requested_by,
+                            args={"model": model, "accepted": False})
             return False
+        if TRACER.active:
+            TRACER.emit("retrain", "request", now, guardrail=requested_by,
+                        args={"model": model, "accepted": True})
         self._last_accepted[model] = now
         self.accepted_count += 1
         self.pending.append({

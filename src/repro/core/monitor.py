@@ -17,6 +17,7 @@ from repro.core.errors import GuardrailError
 from repro.core.expr import EvalContext
 from repro.core.overhead import OverheadAccount
 from repro.core.triggers import FunctionTrigger, TimerTrigger
+from repro.trace.tracer import TRACER
 
 
 class Violation:
@@ -92,11 +93,23 @@ class GuardrailMonitor:
         payload = payload or {}
         now = self.host.engine.now
         self.check_count += 1
+        # One predicate check when tracing is off; the span's virtual-clock
+        # duration is this check's charge to the overhead account.
+        tracing = TRACER.active
+        span = None
+        cost_before = 0
+        if tracing:
+            span = TRACER.begin("monitor.check", self.name, now,
+                                guardrail=self.name)
+            cost_before = self.overhead.simulated_ns
         new_violations = []
         for source, program, _cost in self.compiled.rules:
             ctx = EvalContext(self.host.store, now, payload)
             result = program(ctx)
             self.overhead.charge_check(ctx.ops)
+            if tracing:
+                TRACER.emit("rule.eval", source, now, guardrail=self.name,
+                            args={"result": result, "ops": ctx.ops})
             if result is None:
                 self.inconclusive_count += 1
                 continue
@@ -106,7 +119,16 @@ class GuardrailMonitor:
                 if len(self.violations) < self.max_recorded_violations:
                     self.violations.append(violation)
                 new_violations.append(violation)
+                if tracing:
+                    TRACER.emit("monitor.check", "violation", now,
+                                guardrail=self.name, args={"rule": source})
+                    TRACER.note_violation(self.name)
                 self._maybe_dispatch(violation)
+        if tracing:
+            cost = self.overhead.simulated_ns - cost_before
+            TRACER.note_check(self.name, cost)
+            TRACER.end(span, now + cost,
+                       args={"violations": len(new_violations)})
         return new_violations
 
     def _maybe_dispatch(self, violation):
@@ -119,6 +141,7 @@ class GuardrailMonitor:
         ctx = ActionContext(
             self.host, self.name, violation.rule, violation.time, violation.payload
         )
+        tracing = TRACER.active
         for action in self.compiled.actions:
             try:
                 action.execute(ctx)
@@ -130,8 +153,20 @@ class GuardrailMonitor:
                 self.host.reporter.note(
                     "ACTION_ERROR", self.name, violation.time,
                     detail="{}: {}".format(action.kind, error))
+                # note_action() is skipped: the exact counters mirror
+                # action_dispatch_count, which only counts successes.
+                if tracing:
+                    TRACER.emit("action", action.kind, violation.time,
+                                guardrail=self.name,
+                                args={"rule": violation.rule, "error": str(error)})
             else:
                 self.action_dispatch_count += 1
+                if tracing:
+                    TRACER.emit("action", action.kind, violation.time,
+                                guardrail=self.name,
+                                args={"rule": violation.rule,
+                                      "detail": action.trace_detail()})
+                    TRACER.note_action(self.name)
             self.overhead.charge_action()
 
     # -- introspection -----------------------------------------------------------

@@ -16,6 +16,8 @@ Together with Listing 2 this closes the full loop the paper sketches:
 misbehave -> detect -> disable -> retrain -> re-enable.
 """
 
+from repro.trace.tracer import TRACER
+
 
 class RetrainDaemon:
     """Drains the retrain queue on the virtual clock.
@@ -76,9 +78,17 @@ class RetrainDaemon:
     def _begin(self, model, request):
         self._in_flight.add(model)
         entry = self._models[model]
+        now = self.host.engine.now
+        requested_by = request.get("requested_by")
         self.host.reporter.note(
-            "RETRAIN_START", request.get("requested_by") or "daemon",
-            self.host.engine.now, detail="model={}".format(model))
+            "RETRAIN_START", requested_by or "daemon",
+            now, detail="model={}".format(model))
+        # The training-job span stretches over virtual time, so it is opened
+        # here and closed in _finish; carry it on the request.
+        if TRACER.active:
+            request["_trace_span"] = TRACER.begin(
+                "retrain", model, now, guardrail=requested_by,
+                args={"queued_at": request.get("time")})
         self.host.engine.schedule(
             entry["training_time"], self._finish, model, request)
 
@@ -87,9 +97,12 @@ class RetrainDaemon:
         result = entry["trainer"](request)
         self._in_flight.discard(model)
         self.completed_count += 1
+        now = self.host.engine.now
         self.host.reporter.note(
             "RETRAIN_DONE", request.get("requested_by") or "daemon",
-            self.host.engine.now, detail="model={}".format(model))
+            now, detail="model={}".format(model))
+        if TRACER.active:
+            TRACER.end(request.pop("_trace_span", None), now)
         if entry["on_complete"] is not None:
             entry["on_complete"](result, request)
 

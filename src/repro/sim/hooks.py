@@ -7,6 +7,8 @@ code location; guardrail monitors (and anything else) attach :class:`Probe`
 callbacks to those points through a :class:`HookRegistry`.
 """
 
+from repro.trace.tracer import TRACER
+
 
 class Probe:
     """A callback attached to a hook point.
@@ -41,6 +43,8 @@ class HookPoint:
         self.engine = engine
         self._probes = []
         self.fire_count = 0
+        self._fire_depth = 0
+        self._deferred_removals = []
 
     def attach(self, callback, name="probe"):
         """Attach ``callback`` and return the created :class:`Probe`."""
@@ -52,21 +56,50 @@ class HookPoint:
         return probe
 
     def _remove(self, probe):
+        # Removing from the live list mid-fire would shift indices under the
+        # iteration; defer until the outermost fire() unwinds.
+        if self._fire_depth:
+            self._deferred_removals.append(probe)
+            return
         try:
             self._probes.remove(probe)
         except ValueError:
             pass
 
     def fire(self, **payload):
-        """Invoke every attached probe with the call-site payload."""
+        """Invoke every attached probe with the call-site payload.
+
+        ``fire`` is the hottest call in every benchmark, so it iterates the
+        live probe list by index instead of copying it per fire.  The bound
+        is captured first (probes attached during a fire wait for the next
+        one) and detach-during-fire is handled by deferring list removal —
+        detached probes are skipped via their ``_attached_to`` marker, same
+        semantics as the old copy-then-check loop without the allocation.
+        """
         self.fire_count += 1
-        if not self._probes:
+        if TRACER.active:
+            TRACER.emit("hook", self.name, self.engine.now,
+                        args={"probes": len(self._probes)})
+        probes = self._probes
+        if not probes:
             return
         now = self.engine.now
-        # Copy: a probe may detach itself (or others) while firing.
-        for probe in list(self._probes):
-            if probe._attached_to is self:
-                probe.callback(self.name, now, payload)
+        self._fire_depth += 1
+        try:
+            count = len(probes)
+            for i in range(count):
+                probe = probes[i]
+                if probe._attached_to is self:
+                    probe.callback(self.name, now, payload)
+        finally:
+            self._fire_depth -= 1
+            if not self._fire_depth and self._deferred_removals:
+                for probe in self._deferred_removals:
+                    try:
+                        probes.remove(probe)
+                    except ValueError:
+                        pass
+                del self._deferred_removals[:]
 
     @property
     def probe_count(self):

@@ -7,13 +7,23 @@ Listing 1).  Subcommands:
   exit 0 when all are loadable, 1 otherwise (CI gate for guardrail repos);
 - ``inspect`` — print each guardrail's triggers, rules with verified cost,
   read set (the feature-store keys its rules LOAD), and actions;
-- ``fmt``     — canonically reformat the file via the AST printer.
+- ``fmt``     — canonically reformat the file via the AST printer
+  (``--check`` exits 1 without writing when the file is not canonical,
+  the CI gate counterpart to ``--write``);
+- ``trace``   — run a traced scenario (or replay a saved JSONL trace) and
+  print a human summary: hottest hooks, per-guardrail check/violation/
+  action counters, and the violation/action timeline.  ``--jsonl`` and
+  ``--chrome`` export the event stream (the latter loads in Perfetto or
+  ``chrome://tracing``).
 
 Usage::
 
     python -m repro.tools.grctl check mygardrails.grd
     python -m repro.tools.grctl inspect --budget-ops 128 mygardrails.grd
     python -m repro.tools.grctl fmt --write mygardrails.grd
+    python -m repro.tools.grctl fmt --check mygardrails.grd
+    python -m repro.tools.grctl trace --scenario quick --chrome trace.json
+    python -m repro.tools.grctl trace --replay run.jsonl --top 5
 """
 
 import argparse
@@ -44,6 +54,39 @@ def _build_parser():
         if name == "fmt":
             cmd.add_argument("--write", action="store_true",
                              help="rewrite the file in place")
+            cmd.add_argument("--check", action="store_true",
+                             help="exit 1 if not canonically formatted; "
+                                  "never writes")
+
+    trace = sub.add_parser(
+        "trace", help="run a traced scenario or replay a JSONL trace")
+    trace.add_argument("--scenario", choices=("quick", "fig2"),
+                       default="quick",
+                       help="quick: synthetic demo run (default); "
+                            "fig2: the Listing-2 LinnOS guardrail run "
+                            "(trains the model first — slower)")
+    trace.add_argument("--replay", metavar="FILE", default=None,
+                       help="summarize a saved JSONL trace instead of "
+                            "running a scenario")
+    trace.add_argument("--duration", type=float, default=None,
+                       help="scenario duration in simulated seconds")
+    trace.add_argument("--jsonl", metavar="PATH", default=None,
+                       help="export the event stream as JSONL")
+    trace.add_argument("--chrome", metavar="PATH", default=None,
+                       help="export Chrome trace_event JSON "
+                            "(Perfetto / chrome://tracing)")
+    trace.add_argument("--capacity", type=int, default=262144,
+                       help="ring-buffer capacity in events")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="sampling-phase seed")
+    trace.add_argument("--categories", default=None,
+                       help="comma-separated categories to enable "
+                            "(default: all)")
+    trace.add_argument("--sample", default=None, metavar="CAT=N[,CAT=N...]",
+                       help="1-in-N sampling per category, e.g. "
+                            "hook=16,featurestore.save=8")
+    trace.add_argument("--top", type=int, default=10,
+                       help="rows per top-N table")
     return parser
 
 
@@ -124,6 +167,11 @@ def cmd_fmt(args, out):
         out.write("PARSE ERROR: {}\n".format(error))
         return 1
     formatted = "\n".join(spec.to_source() for spec in specs) + "\n"
+    if args.check:
+        if text == formatted:
+            return 0
+        out.write("would reformat {}\n".format(args.file))
+        return 1
     if args.write and args.file != "-":
         with open(args.file, "w") as handle:
             handle.write(formatted)
@@ -132,12 +180,100 @@ def cmd_fmt(args, out):
     return 0
 
 
+def _parse_sample(spec):
+    out = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        category, _, every = part.partition("=")
+        try:
+            out[category.strip()] = int(every)
+        except ValueError:
+            raise SystemExit(
+                "bad --sample entry {!r}; expected CAT=N".format(part))
+    return out
+
+
+def cmd_trace(args, out):
+    # Scenario imports are deferred: `check`/`fmt` must stay fast and free
+    # of kernel/policy (numpy) imports.
+    from repro.trace import (
+        read_jsonl,
+        render_summary,
+        save_chrome_trace,
+        save_jsonl,
+        summarize_events,
+        summarize_tracer,
+        tracing,
+    )
+
+    if args.replay is not None:
+        try:
+            events = read_jsonl(args.replay)
+        except OSError as exc:
+            raise SystemExit("cannot read trace {!r}: {}".format(
+                args.replay, exc.strerror or exc))
+        summary = summarize_events(events)
+    else:
+        from repro.trace import CATEGORIES
+
+        categories = None
+        if args.categories:
+            categories = [c.strip() for c in args.categories.split(",") if c.strip()]
+        sample = _parse_sample(args.sample) if args.sample else None
+        for name in tuple(categories or ()) + tuple(sample or ()):
+            if name not in CATEGORIES:
+                raise SystemExit(
+                    "unknown trace category {!r}; known: {}".format(
+                        name, ", ".join(CATEGORIES)))
+        with tracing(capacity=args.capacity, seed=args.seed,
+                     categories=categories, sample=sample) as tracer:
+            if args.scenario == "fig2":
+                from repro.bench.scenarios import (
+                    run_figure2_scenario,
+                    train_default_linnos_model,
+                )
+
+                out.write("training the LinnOS model (fig2 scenario)...\n")
+                model = train_default_linnos_model(seed=1, train_seconds=12)
+                run_figure2_scenario(
+                    model, "guarded", seed=2,
+                    duration_s=int(args.duration or 16))
+            else:
+                from repro.bench.scenarios import run_trace_demo_scenario
+
+                run_trace_demo_scenario(duration_s=int(args.duration or 4))
+        events = tracer.events()
+        summary = summarize_tracer(tracer)
+    if args.jsonl:
+        count = save_jsonl(events, args.jsonl)
+        out.write("wrote {} event(s) to {}\n".format(count, args.jsonl))
+    if args.chrome:
+        save_chrome_trace(events, args.chrome)
+        out.write("wrote Chrome trace to {} "
+                  "(open in Perfetto or chrome://tracing)\n".format(args.chrome))
+    out.write(render_summary(summary, top=args.top))
+    out.write("\n")
+    return 0
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
-    handler = {"check": cmd_check, "inspect": cmd_inspect, "fmt": cmd_fmt}
+    handler = {"check": cmd_check, "inspect": cmd_inspect, "fmt": cmd_fmt,
+               "trace": cmd_trace}
     return handler[args.command](args, out)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like other
+        # well-behaved CLI tools.  Swap stdout for devnull so the
+        # interpreter's exit-time flush does not raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,90 @@
+"""Structured trace events.
+
+One :class:`TraceEvent` is one observation from a tracepoint: an *instant*
+(phase ``"i"``: a hook fired, a rule evaluated, a value was saved) or a
+*complete span* (phase ``"X"``: a monitor check or retrain job with a
+virtual-clock duration).  Events are plain data — everything else
+(filtering, sampling, storage, export) lives in the tracer and exporters.
+
+Timestamps are virtual nanoseconds from the simulation engine, so traces
+from the same seed are bit-for-bit identical.
+"""
+
+#: The closed set of tracepoint categories.  Per-category enable/disable and
+#: sampling key off these names; exporters map them to Chrome trace "threads".
+CATEGORIES = (
+    "hook",
+    "monitor.check",
+    "rule.eval",
+    "action",
+    "featurestore.save",
+    "retrain",
+)
+
+PHASE_INSTANT = "i"
+PHASE_SPAN = "X"
+
+
+class TraceEvent:
+    """One trace record.
+
+    ``category``   one of :data:`CATEGORIES`;
+    ``name``       the specific tracepoint (hook name, guardrail name,
+                   rule source, action kind, store key, model name);
+    ``ts``         virtual-clock nanoseconds;
+    ``dur``        span duration in ns (0 for instants);
+    ``phase``      ``"i"`` instant or ``"X"`` complete span;
+    ``guardrail``  owning guardrail name, when attributable;
+    ``args``       small dict of tracepoint-specific detail (or ``None``);
+    ``seq``        global emission order, ties broken the same way the
+                   engine breaks same-timestamp event ordering.
+    """
+
+    __slots__ = ("category", "name", "ts", "dur", "phase", "guardrail",
+                 "args", "seq")
+
+    def __init__(self, category, name, ts, dur=0, phase=PHASE_INSTANT,
+                 guardrail=None, args=None, seq=0):
+        self.category = category
+        self.name = name
+        self.ts = ts
+        self.dur = dur
+        self.phase = phase
+        self.guardrail = guardrail
+        self.args = args
+        self.seq = seq
+
+    def to_dict(self):
+        """Flat dict form used by the JSONL exporter (stable key order)."""
+        out = {
+            "category": self.category,
+            "name": self.name,
+            "ts": self.ts,
+            "phase": self.phase,
+            "seq": self.seq,
+        }
+        if self.dur:
+            out["dur"] = self.dur
+        if self.guardrail is not None:
+            out["guardrail"] = self.guardrail
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            data["category"], data["name"], data["ts"],
+            dur=data.get("dur", 0),
+            phase=data.get("phase", PHASE_INSTANT),
+            guardrail=data.get("guardrail"),
+            args=data.get("args"),
+            seq=data.get("seq", 0),
+        )
+
+    def __repr__(self):
+        return "TraceEvent({}/{}, t={}{}{})".format(
+            self.category, self.name, self.ts,
+            ", dur={}".format(self.dur) if self.dur else "",
+            ", guardrail={}".format(self.guardrail) if self.guardrail else "",
+        )

@@ -1,0 +1,132 @@
+"""Human summaries of a trace: what ``grctl trace`` prints.
+
+Works from two sources:
+
+- a live :class:`~repro.trace.tracer.Tracer` — per-guardrail counts come
+  from its exact (never-sampled) counters;
+- a replayed event list (JSONL) — counts are then derived from the events
+  themselves, which undercounts if the original run sampled or wrapped.
+"""
+
+import collections
+
+from repro.trace.events import PHASE_SPAN
+
+
+def summarize_events(events, stat=None, dropped=0):
+    """Reduce a trace to the dict :func:`render_summary` formats.
+
+    ``stat`` is an exact per-guardrail counter table (``Tracer.stat()``);
+    when ``None`` the equivalent is reconstructed from the event stream.
+    """
+    by_category = collections.Counter(e.category for e in events)
+    hook_fires = collections.Counter()
+    hook_busy_ns = collections.defaultdict(int)
+    violations = []
+    actions = []
+    derived = {}
+
+    def gr(name):
+        return derived.setdefault(name, {
+            "checks": 0, "violations": 0, "actions": 0, "check_cost_ns": 0,
+        })
+
+    for event in events:
+        if event.category == "hook":
+            hook_fires[event.name] += 1
+            if event.phase == PHASE_SPAN:
+                hook_busy_ns[event.name] += event.dur
+        elif event.category == "monitor.check":
+            if event.name == "violation":
+                violations.append(event)
+                if event.guardrail is not None:
+                    gr(event.guardrail)["violations"] += 1
+            elif event.guardrail is not None:
+                entry = gr(event.guardrail)
+                entry["checks"] += 1
+                entry["check_cost_ns"] += event.dur
+        elif event.category == "action":
+            actions.append(event)
+            if event.guardrail is not None:
+                gr(event.guardrail)["actions"] += 1
+
+    return {
+        "events": len(events),
+        "dropped": dropped,
+        "span_ns": (events[-1].ts - events[0].ts) if events else 0,
+        "by_category": dict(by_category),
+        "hook_fires": hook_fires,
+        "hook_busy_ns": dict(hook_busy_ns),
+        "guardrails": stat if stat is not None else derived,
+        "exact_counters": stat is not None,
+        "violations": violations,
+        "actions": actions,
+    }
+
+
+def summarize_tracer(tracer):
+    return summarize_events(tracer.events(), stat=tracer.stat(),
+                            dropped=tracer.buffer.dropped)
+
+
+def _fmt_ts(ns):
+    return "{:.3f}s".format(ns / 1e9)
+
+
+def render_summary(summary, top=10):
+    """Format a summary dict as the ``grctl trace`` report text."""
+    lines = []
+    lines.append("trace: {} event(s) over {} ({} overwritten)".format(
+        summary["events"], _fmt_ts(summary["span_ns"]), summary["dropped"]))
+
+    lines.append("")
+    lines.append("events by category:")
+    for category, count in sorted(summary["by_category"].items(),
+                                  key=lambda kv: (-kv[1], kv[0])):
+        lines.append("  {:<18} {:>8}".format(category, count))
+
+    hottest = summary["hook_fires"].most_common(top)
+    lines.append("")
+    lines.append("hottest hooks (top {}):".format(top))
+    if not hottest:
+        lines.append("  <no hook events>")
+    for name, fires in hottest:
+        lines.append("  {:<26} {:>8} fire(s)".format(name, fires))
+
+    lines.append("")
+    header = "per-guardrail counters ({}):".format(
+        "exact" if summary["exact_counters"] else "from events; lower bound")
+    lines.append(header)
+    guardrails = summary["guardrails"]
+    if not guardrails:
+        lines.append("  <no guardrail activity>")
+    else:
+        lines.append("  {:<24} {:>8} {:>11} {:>8} {:>14}".format(
+            "guardrail", "checks", "violations", "actions", "check cost ns"))
+        for name in sorted(guardrails):
+            row = guardrails[name]
+            lines.append("  {:<24} {:>8} {:>11} {:>8} {:>14}".format(
+                name, row["checks"], row["violations"], row["actions"],
+                row["check_cost_ns"]))
+
+    lines.append("")
+    lines.append("violation timeline:")
+    violations = summary["violations"]
+    if not violations:
+        lines.append("  <none>")
+    shown = violations if len(violations) <= 2 * top else (
+        violations[:top] + violations[-top:])
+    elided = len(violations) - len(shown)
+    for i, event in enumerate(shown):
+        if elided and i == top:
+            lines.append("  ... {} more ...".format(elided))
+        rule = (event.args or {}).get("rule", "")
+        lines.append("  t={:<10} {:<24} {}".format(
+            _fmt_ts(event.ts), event.guardrail or "?", rule))
+    for event in summary["actions"][:top]:
+        kind = event.name
+        detail = (event.args or {}).get("detail", "")
+        lines.append("  t={:<10} {:<24} -> {}{}".format(
+            _fmt_ts(event.ts), event.guardrail or "?", kind,
+            " ({})".format(detail) if detail else ""))
+    return "\n".join(lines)

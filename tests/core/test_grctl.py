@@ -141,3 +141,77 @@ def test_check_accepts_aggregates(tmp_path):
     code, output = run(["check", str(path)])
     assert code == 0
     assert "OK    agg" in output
+
+
+def test_fmt_check_passes_on_canonical_file(good_file, tmp_path):
+    _, formatted = run(["fmt", good_file])
+    path = tmp_path / "canonical.grd"
+    path.write_text(formatted)
+    code, output = run(["fmt", "--check", str(path)])
+    assert code == 0
+    assert output == ""
+
+
+def test_fmt_check_fails_without_writing(good_file):
+    with open(good_file) as handle:
+        original = handle.read()
+    code, output = run(["fmt", "--check", good_file])
+    assert code == 1
+    assert "would reformat" in output
+    with open(good_file) as handle:
+        assert handle.read() == original  # --check never writes
+
+
+def test_fmt_check_wins_over_write(good_file):
+    with open(good_file) as handle:
+        original = handle.read()
+    code, _ = run(["fmt", "--check", "--write", good_file])
+    assert code == 1
+    with open(good_file) as handle:
+        assert handle.read() == original
+
+
+def test_fmt_check_parse_error(tmp_path):
+    path = tmp_path / "bad.grd"
+    path.write_text(BAD_SYNTAX)
+    code, output = run(["fmt", "--check", str(path)])
+    assert code == 1
+    assert "PARSE ERROR" in output
+
+
+def test_trace_quick_scenario_summary_and_exports(tmp_path):
+    import json
+
+    jsonl = str(tmp_path / "run.jsonl")
+    chrome = str(tmp_path / "run.json")
+    code, output = run(["trace", "--scenario", "quick", "--duration", "2",
+                        "--jsonl", jsonl, "--chrome", chrome])
+    assert code == 0
+    assert "per-guardrail counters (exact):" in output
+    assert "queue-bound" in output and "alloc-bound" in output
+    assert "hottest hooks" in output and "mm.alloc" in output
+
+    with open(chrome) as fp:
+        data = json.load(fp)
+    categories = {r["cat"] for r in data["traceEvents"] if r["ph"] != "M"}
+    assert len(categories) >= 4
+
+    code, replay_out = run(["trace", "--replay", jsonl])
+    assert code == 0
+    assert "per-guardrail counters (from events; lower bound):" in replay_out
+    assert "queue-bound" in replay_out
+
+
+def test_trace_sampling_and_category_flags(tmp_path):
+    jsonl = str(tmp_path / "sampled.jsonl")
+    code, output = run(["trace", "--scenario", "quick", "--duration", "2",
+                        "--categories", "hook,monitor.check,action",
+                        "--sample", "hook=8", "--jsonl", jsonl])
+    assert code == 0
+    from repro.trace import read_jsonl
+
+    events = read_jsonl(jsonl)
+    assert events
+    assert {e.category for e in events} <= {"hook", "monitor.check", "action"}
+    # Counters stay exact even though the event stream is filtered/sampled.
+    assert "per-guardrail counters (exact):" in output

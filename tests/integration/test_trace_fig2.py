@@ -1,0 +1,96 @@
+"""Tracing the Figure 2 run end to end.
+
+The Listing-2 guardrail's firing must be *observable* in the trace: the
+violation event precedes the action that disables the model, the Chrome
+export is valid JSON with at least four live categories, and the tracer's
+exact counters agree with the monitor's own totals.
+
+Expensive (trains the model); marked slow like the other Figure 2 tests.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.scenarios import run_figure2_scenario, train_default_linnos_model
+from repro.sim.units import SECOND
+from repro.trace import TRACER, chrome_trace_dict, summarize_tracer, tracing
+
+DRIFT_AT_S = 6
+DURATION_S = 16
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    model = train_default_linnos_model(seed=1, train_seconds=12)
+    with tracing(capacity=262144, seed=0) as tracer:
+        result = run_figure2_scenario(model, "guarded", seed=2,
+                                      drift_at_s=DRIFT_AT_S,
+                                      duration_s=DURATION_S)
+    assert tracer.buffer.dropped == 0  # the whole run fits; no overwrite
+    return tracer, result
+
+
+def test_trace_covers_at_least_four_categories(traced_run):
+    tracer, _result = traced_run
+    categories = {e.category for e in tracer.events()}
+    assert {"hook", "monitor.check", "rule.eval", "action",
+            "featurestore.save"} <= categories
+
+
+def test_violation_event_precedes_disable_action_event(traced_run):
+    tracer, _result = traced_run
+    name = "low-false-submit"
+    violations = [e for e in tracer.events(category="monitor.check",
+                                           guardrail=name)
+                  if e.name == "violation"]
+    actions = tracer.events(category="action", guardrail=name)
+    assert violations, "guardrail never violated in the traced run"
+    assert actions, "guardrail never acted in the traced run"
+    # The first firing: violation first, then the SAVE that kills the model.
+    assert violations[0].seq < actions[0].seq
+    assert violations[0].ts == actions[0].ts  # same virtual instant
+    assert actions[0].name == "SAVE"
+    assert actions[0].args["detail"] == "ml_enabled = false"
+    # It fires within a few checks of the drift, like the untraced run.
+    assert DRIFT_AT_S * SECOND < violations[0].ts <= (DRIFT_AT_S + 3) * SECOND
+
+
+def test_chrome_export_parses_with_plain_json(traced_run, tmp_path):
+    tracer, _result = traced_run
+    path = tmp_path / "fig2.json"
+    with open(str(path), "w") as fp:
+        json.dump(chrome_trace_dict(tracer.events()), fp)
+    with open(str(path)) as fp:
+        data = json.load(fp)
+    records = data["traceEvents"]
+    categories = {r["cat"] for r in records if r["ph"] != "M"}
+    assert len(categories) >= 4
+    assert any(r["ph"] == "X" for r in records)  # monitor-check spans
+
+
+def test_exact_counters_match_monitor_totals(traced_run):
+    tracer, result = traced_run
+    monitor = result.kernel.guardrails.get("low-false-submit")
+    stats = monitor.stats()
+    table = tracer.stat()["low-false-submit"]
+    assert table["checks"] == stats["checks"]
+    assert table["violations"] == stats["violations"]
+    assert table["actions"] == stats["action_dispatches"]
+    # ... which is what the grctl trace summary prints.
+    summary = summarize_tracer(tracer)
+    assert summary["exact_counters"]
+    assert summary["guardrails"]["low-false-submit"]["checks"] == stats["checks"]
+
+
+def test_hook_events_cover_the_storage_hot_path(traced_run):
+    tracer, _result = traced_run
+    fires = summarize_tracer(tracer)["hook_fires"]
+    assert fires["storage.submit_io"] > 1000
+    assert fires["storage.io_complete"] > 1000
+
+
+def test_global_tracer_left_inactive(traced_run):
+    assert not TRACER.active

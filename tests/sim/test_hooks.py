@@ -94,3 +94,95 @@ def test_probe_count_and_names(hooks):
     assert hooks.names() == ["a", "b"]
     assert "a" in hooks
     assert "zz" not in hooks
+
+
+def test_fire_iterates_live_list_without_copying(hooks):
+    # The perf contract: a steady-state fire allocates no probe-list copy.
+    # Observable proxy: the list object is the same before and after, and
+    # steady firing reaches every probe.
+    point = hooks.declare("p")
+    seen = []
+    point.attach(lambda *a: seen.append("a"))
+    point.attach(lambda *a: seen.append("b"))
+    probes_list = point._probes
+    for _ in range(3):
+        point.fire()
+    assert point._probes is probes_list
+    assert seen == ["a", "b"] * 3
+
+
+def test_probe_attached_during_fire_waits_for_next_fire(hooks):
+    point = hooks.declare("p")
+    seen = []
+
+    def attacher(name, now, payload):
+        seen.append("first")
+        if len(seen) == 1:
+            point.attach(lambda *a: seen.append("late"))
+
+    point.attach(attacher)
+    point.fire()
+    assert seen == ["first"]  # late probe not invoked mid-fire
+    point.fire()
+    assert seen == ["first", "first", "late"]
+
+
+def test_probe_detaching_a_later_probe_mid_fire_skips_it(hooks):
+    point = hooks.declare("p")
+    seen = []
+
+    def saboteur(name, now, payload):
+        seen.append("saboteur")
+        victim.detach()
+
+    point.attach(saboteur)
+    victim = point.attach(lambda *a: seen.append("victim"))
+    point.fire()
+    assert seen == ["saboteur"]
+    assert not victim.attached
+    assert point.probe_count == 1
+    point.fire()
+    assert seen == ["saboteur", "saboteur"]
+
+
+def test_probe_detaching_an_earlier_probe_mid_fire(hooks):
+    point = hooks.declare("p")
+    seen = []
+    early = point.attach(lambda *a: seen.append("early"))
+
+    def saboteur(name, now, payload):
+        seen.append("saboteur")
+        early.detach()
+
+    point.attach(saboteur)
+    tail = point.attach(lambda *a: seen.append("tail"))
+    point.fire()
+    # early already ran this round; the tail probe must still run even
+    # though the list shrank logically mid-iteration.
+    assert seen == ["early", "saboteur", "tail"]
+    point.fire()
+    assert seen == ["early", "saboteur", "tail", "saboteur", "tail"]
+    assert point.probe_count == 2
+    assert tail.attached
+
+
+def test_reentrant_fire_from_probe_is_safe(hooks):
+    point = hooks.declare("p")
+    seen = []
+
+    def reenter(name, now, payload):
+        seen.append("outer")
+        if len(seen) == 1:
+            point.fire()        # nested fire from inside a probe
+            other.detach()      # deferred until the outermost fire ends
+
+    point.attach(reenter)
+    other = point.attach(lambda *a: seen.append("other"))
+    point.fire()
+    # Nested fire sees both probes; when it unwinds, the detach takes
+    # effect immediately (the outer pass skips `other`) while the physical
+    # list removal is deferred until the outermost fire ends.
+    assert seen == ["outer", "outer", "other"]
+    assert point.probe_count == 1
+    point.fire()
+    assert seen == ["outer", "outer", "other", "outer"]

@@ -1,0 +1,148 @@
+"""Tracepoint wiring: hooks, monitor, actions, feature store, retraining.
+
+Each test runs a small host/kernel under ``tracing()`` and asserts the
+expected events land in the buffer — and that the tracer's exact counters
+agree with the monitor's own statistics.
+"""
+
+import pytest
+
+from repro.core.host import MonitorHost
+from repro.core.retraining import RetrainDaemon
+from repro.kernel import Kernel
+from repro.sim.units import SECOND
+from repro.trace import TRACER, tracing
+
+
+@pytest.fixture(autouse=True)
+def _stop_tracer_after():
+    yield
+    TRACER.stop()
+
+
+def test_hook_fire_emits_even_without_probes(host):
+    with tracing() as t:
+        point = host.hooks.declare("storage.submit_io")
+        point.fire(x=1)
+    events = t.events(category="hook")
+    assert [e.name for e in events] == ["storage.submit_io"]
+    assert events[0].args == {"probes": 0}
+
+
+def test_tracepoints_silent_when_tracer_inactive(host):
+    assert not TRACER.active
+    before = TRACER.buffer.total
+    point = host.hooks.declare("p")
+    point.fire(x=1)
+    host.store.save("k", 1)
+    assert TRACER.buffer.total == before
+
+
+def test_featurestore_save_traced(host):
+    with tracing() as t:
+        host.store.save("io_latency_us", 42)
+        host.store.save("blob", [1, 2, 3])  # non-scalar: no value arg
+    events = t.events(category="featurestore.save")
+    assert [e.name for e in events] == ["io_latency_us", "blob"]
+    assert events[0].args == {"value": 42}
+    assert events[1].args is None
+
+
+def _load_guardrail(kernel, rule="LOAD(m) <= 1", action="SAVE(flag, true)"):
+    spec = ("guardrail g {{ trigger: {{ TIMER(start_time, 1s) }}, "
+            "rule: {{ {} }}, action: {{ {} }} }}").format(rule, action)
+    return kernel.guardrails.load(spec)
+
+
+def test_monitor_check_emits_span_rule_eval_violation_and_action():
+    kernel = Kernel(seed=0)
+    kernel.store.save("m", 5)
+    with tracing() as t:
+        monitor = _load_guardrail(kernel)
+        kernel.run(until=1 * SECOND)
+
+    checks = [e for e in t.events(category="monitor.check") if e.name == "g"]
+    assert len(checks) == 1
+    assert checks[0].phase == "X"
+    assert checks[0].dur > 0  # virtual-clock cost of the check
+
+    evals = t.events(category="rule.eval")
+    assert len(evals) == 1
+    assert evals[0].args["result"] is False
+
+    violations = [e for e in t.events(category="monitor.check")
+                  if e.name == "violation"]
+    assert len(violations) == 1
+    assert violations[0].guardrail == "g"
+
+    actions = t.events(category="action")
+    assert [e.name for e in actions] == ["SAVE"]
+    assert actions[0].args["detail"] == "flag = true"
+
+    # Violation precedes its action in emission order.
+    assert violations[0].seq < actions[0].seq
+
+    # Exact counters agree with the monitor's own stats.
+    stats = monitor.stats()
+    assert t.stat()["g"] == {
+        "checks": stats["checks"],
+        "violations": stats["violations"],
+        "actions": stats["action_dispatches"],
+        "check_cost_ns": stats["overhead"]["simulated_ns"],
+    }
+
+
+def test_counters_stay_exact_when_events_are_sampled_away():
+    kernel = Kernel(seed=0)
+    kernel.store.save("m", 5)
+    with tracing(sample={"monitor.check": 1000, "rule.eval": 1000,
+                         "action": 1000}) as t:
+        monitor = _load_guardrail(kernel)
+        kernel.run(until=10 * SECOND)
+    assert monitor.check_count == 10
+    assert len(t.events(category="rule.eval")) <= 1  # stream is sampled...
+    stat = t.stat()["g"]                             # ...counters are not
+    assert stat["checks"] == 10
+    assert stat["violations"] == monitor.violation_count
+    assert stat["actions"] == monitor.action_dispatch_count
+
+
+def test_retrain_request_and_job_span_traced():
+    kernel = Kernel(seed=0)
+    kernel.store.save("m", 5)
+    with tracing() as t:
+        _load_guardrail(kernel, action="RETRAIN(mymodel)")
+        daemon = RetrainDaemon(kernel, poll_interval=SECOND // 2)
+        daemon.register("mymodel", lambda request: "new-model",
+                        training_time=2 * SECOND)
+        daemon.start()
+        kernel.run(until=5 * SECOND)
+
+    retrain = t.events(category="retrain")
+    requests = [e for e in retrain if e.name == "request"]
+    assert requests and requests[0].args["model"] == "mymodel"
+    assert requests[0].guardrail == "g"
+
+    jobs = [e for e in retrain if e.name == "mymodel"]
+    assert len(jobs) == daemon.completed_count >= 1
+    assert jobs[0].phase == "X"
+    assert jobs[0].dur == 2 * SECOND  # virtual begin/end pair
+
+
+def test_action_error_emits_event_but_not_counter():
+    host = MonitorHost()
+    host.store.save("m", 5)
+    spec = ("guardrail g { trigger: { TIMER(start_time, 1s) }, "
+            "rule: { LOAD(m) <= 1 }, "
+            "action: { REPLACE(no.such_slot, nowhere) } }")
+    from repro.core.registry import GuardrailManager
+
+    manager = GuardrailManager(host)
+    with tracing() as t:
+        monitor = manager.load(spec)
+        host.engine.run(until=1 * SECOND)
+    assert monitor.action_error_count == 1
+    actions = t.events(category="action")
+    assert len(actions) == 1
+    assert "error" in actions[0].args
+    assert t.stat()["g"]["actions"] == 0  # mirrors action_dispatch_count

@@ -7,6 +7,7 @@ latency.
 """
 
 from repro.bench.report import format_table
+from repro.bench.results import scenario
 from repro.core.dependency import convert_to_dependency_triggered
 from repro.kernel import Kernel
 from repro.sim.units import MILLISECOND, SECOND
@@ -46,28 +47,42 @@ def _run(dependency, duration=30 * SECOND, change_every=5 * SECOND):
     }
 
 
+@scenario(cost=0.3, seed=52)
+def run_dependency_ablation(report=None):
+    results = {
+        "periodic TIMER 100ms": _run(dependency=False),
+        "dependency-tracked": _run(dependency=True),
+    }
+    metrics = {}
+    for name, prefix in (("periodic TIMER 100ms", "periodic"),
+                         ("dependency-tracked", "tracked")):
+        for key in ("checks", "delay_ms", "overhead_ns", "suppressed"):
+            metrics["{}_{}".format(prefix, key)] = results[name][key]
+
+    if report is not None:
+        rows = [
+            [name, r["checks"], r["delay_ms"], r["overhead_ns"]]
+            for name, r in results.items()
+        ]
+        report("ablation_dependency", format_table(
+            ["checking strategy", "checks in 30s", "detection delay ms",
+             "overhead ns"],
+            rows,
+            title="§6 ablation: periodic vs dependency-tracked checking"))
+    return metrics
+
+
+def scenarios():
+    return [("ablation_dependency", run_dependency_ablation)]
+
+
 def test_dependency_ablation(benchmark, report_sink):
-    def run_both():
-        return {
-            "periodic TIMER 100ms": _run(dependency=False),
-            "dependency-tracked": _run(dependency=True),
-        }
+    metrics = benchmark.pedantic(
+        run_dependency_ablation, kwargs={"report": report_sink},
+        rounds=1, iterations=1)
 
-    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    rows = [
-        [name, r["checks"], r["delay_ms"], r["overhead_ns"]]
-        for name, r in results.items()
-    ]
-    report_sink("ablation_dependency", format_table(
-        ["checking strategy", "checks in 30s", "detection delay ms",
-         "overhead ns"],
-        rows,
-        title="§6 ablation: periodic vs dependency-tracked checking"))
-
-    periodic = results["periodic TIMER 100ms"]
-    tracked = results["dependency-tracked"]
-    assert tracked["checks"] < periodic["checks"] / 10
-    assert tracked["overhead_ns"] < periodic["overhead_ns"] / 10
+    assert metrics["tracked_checks"] < metrics["periodic_checks"] / 10
+    assert metrics["tracked_overhead_ns"] < metrics["periodic_overhead_ns"] / 10
     # Dependency tracking reacts at the change itself — no polling delay.
-    assert tracked["delay_ms"] == 0.0
-    assert periodic["delay_ms"] >= 0.0
+    assert metrics["tracked_delay_ms"] == 0.0
+    assert metrics["periodic_delay_ms"] >= 0.0

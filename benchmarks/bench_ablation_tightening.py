@@ -7,6 +7,7 @@ catches it within a couple of checks.
 """
 
 from repro.bench.report import format_table
+from repro.bench.results import scenario
 from repro.core.tightening import AutoTightener
 from repro.kernel import Kernel
 from repro.kernel.mm import PageFaultHandler
@@ -65,29 +66,47 @@ def _run(tightened):
     }
 
 
+@scenario(cost=0.5, seed=53)
+def run_tightening_ablation(report=None):
+    results = {
+        "fixed relaxed (50 ms)": _run(tightened=False),
+        "auto-tightened": _run(tightened=True),
+    }
+    metrics = {}
+    for name, prefix in (("fixed relaxed (50 ms)", "relaxed"),
+                         ("auto-tightened", "tightened")):
+        r = results[name]
+        metrics[prefix + "_threshold_ms"] = round(r["threshold"], 6)
+        metrics[prefix + "_violations"] = r["violations"]
+        metrics[prefix + "_delay_s"] = r["delay_s"]
+        metrics[prefix + "_tighten_count"] = r["tighten_count"]
+
+    if report is not None:
+        rows = [
+            [name, round(r["threshold"], 3), r["tighten_count"],
+             r["violations"], r["delay_s"]]
+            for name, r in results.items()
+        ]
+        report("ablation_tightening", format_table(
+            ["deployment", "final threshold ms", "tightenings", "violations",
+             "detection delay s"],
+            rows,
+            title="§3.3 ablation: relaxed vs auto-tightened threshold "
+                  "(regression at t=10s)"))
+    return metrics
+
+
+def scenarios():
+    return [("ablation_tightening", run_tightening_ablation)]
+
+
 def test_tightening_ablation(benchmark, report_sink):
-    def run_both():
-        return {
-            "fixed relaxed (50 ms)": _run(tightened=False),
-            "auto-tightened": _run(tightened=True),
-        }
+    metrics = benchmark.pedantic(
+        run_tightening_ablation, kwargs={"report": report_sink},
+        rounds=1, iterations=1)
 
-    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    rows = [
-        [name, round(r["threshold"], 3), r["tighten_count"], r["violations"],
-         r["delay_s"]]
-        for name, r in results.items()
-    ]
-    report_sink("ablation_tightening", format_table(
-        ["deployment", "final threshold ms", "tightenings", "violations",
-         "detection delay s"],
-        rows,
-        title="§3.3 ablation: relaxed vs auto-tightened threshold "
-              "(regression at t=10s)"))
-
-    relaxed = results["fixed relaxed (50 ms)"]
-    tightened = results["auto-tightened"]
-    assert relaxed["violations"] == 0          # regression hides forever
-    assert tightened["violations"] >= 1
-    assert tightened["delay_s"] is not None and tightened["delay_s"] <= 3
-    assert tightened["threshold"] < 1.0        # converged near real behavior
+    assert metrics["relaxed_violations"] == 0   # regression hides forever
+    assert metrics["tightened_violations"] >= 1
+    assert (metrics["tightened_delay_s"] is not None
+            and metrics["tightened_delay_s"] <= 3)
+    assert metrics["tightened_threshold_ms"] < 1.0  # converged near reality

@@ -7,6 +7,7 @@ that curve; the verifier's minimum interval bounds the worst case.
 """
 
 from repro.bench.report import format_table
+from repro.bench.results import scenario
 from repro.kernel import Kernel
 from repro.sim.units import MILLISECOND, SECOND
 
@@ -47,35 +48,52 @@ def _run(trigger, violation_at=7_300 * MILLISECOND, duration=20 * SECOND):
     }
 
 
+@scenario(cost=0.4, seed=51)
+def run_trigger_ablation(report=None):
+    results = {}
+    for interval in INTERVALS_MS:
+        results["TIMER {} ms".format(interval)] = _run(
+            "TIMER(start_time, {}ms)".format(interval))
+    results["FUNCTION (per call)"] = _run("FUNCTION(app.request)")
+
+    metrics = {}
+    for interval in INTERVALS_MS:
+        r = results["TIMER {} ms".format(interval)]
+        for key in ("checks", "delay_ms", "overhead_ns"):
+            metrics["timer_{}ms_{}".format(interval, key)] = r[key]
+    for key in ("checks", "delay_ms", "overhead_ns"):
+        metrics["function_{}".format(key)] = results["FUNCTION (per call)"][key]
+
+    if report is not None:
+        rows = [
+            [name, r["checks"], r["delay_ms"], r["overhead_ns"]]
+            for name, r in results.items()
+        ]
+        report("ablation_trigger", format_table(
+            ["trigger", "checks in 20s", "detection delay ms",
+             "monitor overhead ns"],
+            rows,
+            title="§4.1 ablation: check frequency vs detection delay "
+                  "vs overhead"))
+    return metrics
+
+
+def scenarios():
+    return [("ablation_trigger", run_trigger_ablation)]
+
+
 def test_trigger_ablation(benchmark, report_sink):
-    def run_all():
-        results = {}
-        for interval in INTERVALS_MS:
-            results["TIMER {} ms".format(interval)] = _run(
-                "TIMER(start_time, {}ms)".format(interval))
-        results["FUNCTION (per call)"] = _run("FUNCTION(app.request)")
-        return results
+    metrics = benchmark.pedantic(
+        run_trigger_ablation, kwargs={"report": report_sink},
+        rounds=1, iterations=1)
 
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    rows = [
-        [name, r["checks"], r["delay_ms"], r["overhead_ns"]]
-        for name, r in results.items()
-    ]
-    report_sink("ablation_trigger", format_table(
-        ["trigger", "checks in 20s", "detection delay ms",
-         "monitor overhead ns"],
-        rows,
-        title="§4.1 ablation: check frequency vs detection delay vs overhead"))
-
-    delays = [results["TIMER {} ms".format(i)]["delay_ms"]
-              for i in INTERVALS_MS]
-    overheads = [results["TIMER {} ms".format(i)]["overhead_ns"]
+    delays = [metrics["timer_{}ms_delay_ms".format(i)] for i in INTERVALS_MS]
+    overheads = [metrics["timer_{}ms_overhead_ns".format(i)]
                  for i in INTERVALS_MS]
     # Coarser timers: no more delay-optimal than finer ones; strictly less
     # overhead.
     assert all(a <= b for a, b in zip(delays, delays[1:]))
     assert all(a >= b for a, b in zip(overheads, overheads[1:]))
     # The FUNCTION trigger detects fastest but costs the most checks.
-    function = results["FUNCTION (per call)"]
-    assert function["delay_ms"] <= delays[0]
-    assert function["checks"] > results["TIMER 10 ms"]["checks"]
+    assert metrics["function_delay_ms"] <= delays[0]
+    assert metrics["function_checks"] > metrics["timer_10ms_checks"]

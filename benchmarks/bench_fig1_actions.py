@@ -7,6 +7,7 @@ overhead column.
 """
 
 from repro.bench.report import format_table
+from repro.bench.results import scenario
 from repro.kernel import Kernel
 from repro.kernel.sched import CpuScheduler
 from repro.sim.units import MILLISECOND, SECOND
@@ -19,127 +20,189 @@ def _spec(action):
     )
 
 
-def test_a1_report(benchmark, report_sink):
-    def scenario():
-        kernel = Kernel(seed=41)
-        kernel.store.save("metric", 99)
-        kernel.store.save("context_value", 7)
-        monitor = kernel.guardrails.load(
-            _spec("REPORT(LOAD(metric), LOAD(context_value))"))
-        kernel.run(until=1 * SECOND)
-        return kernel, monitor
+@scenario(cost=0.2, seed=41)
+def run_a1_report(report=None):
+    kernel = Kernel(seed=41)
+    kernel.store.save("metric", 99)
+    kernel.store.save("context_value", 7)
+    monitor = kernel.guardrails.load(
+        _spec("REPORT(LOAD(metric), LOAD(context_value))"))
+    kernel.run(until=1 * SECOND)
 
-    kernel, monitor = benchmark.pedantic(scenario, rounds=1, iterations=1)
     reports = kernel.reporter.reports
-    report_sink("fig1_a1_report", format_table(
-        ["aspect", "value"],
-        [
-            ["violations", monitor.violation_count],
-            ["reports recorded", len(reports)],
-            ["extras captured", str(reports[0]["extras"])],
-            ["store snapshot keys", len(reports[0]["store"])],
-            ["simulated cost (ns total)", monitor.overhead.simulated_ns],
-        ],
-        title="A1 REPORT: violation context for offline analysis"))
-    assert len(reports) == monitor.violation_count >= 5
-    assert reports[0]["extras"]["LOAD(metric)"] == 99
+    metrics = {
+        "violations": monitor.violation_count,
+        "reports_recorded": len(reports),
+        "extra_metric": reports[0]["extras"]["LOAD(metric)"],
+        "store_snapshot_keys": len(reports[0]["store"]),
+        "simulated_cost_ns": monitor.overhead.simulated_ns,
+    }
+    if report is not None:
+        report("fig1_a1_report", format_table(
+            ["aspect", "value"],
+            [
+                ["violations", metrics["violations"]],
+                ["reports recorded", metrics["reports_recorded"]],
+                ["extras captured", str(reports[0]["extras"])],
+                ["store snapshot keys", metrics["store_snapshot_keys"]],
+                ["simulated cost (ns total)", metrics["simulated_cost_ns"]],
+            ],
+            title="A1 REPORT: violation context for offline analysis"))
+    return metrics
+
+
+@scenario(cost=0.2, seed=42)
+def run_a2_replace(report=None):
+    kernel = Kernel(seed=42)
+    decisions = []
+    kernel.functions.register("policy", lambda: decisions.append("learned"))
+    kernel.functions.register_implementation(
+        "fallback", lambda: decisions.append("safe"))
+    kernel.store.save("metric", 0)
+    kernel.guardrails.load(_spec("REPLACE(policy, fallback)"))
+
+    def call_policy(step=0):
+        kernel.functions.slot("policy")()
+        if step < 19:
+            kernel.engine.schedule(50 * MILLISECOND, call_policy, step + 1)
+
+    call_policy()
+    kernel.engine.schedule(500 * MILLISECOND, kernel.store.save, "metric", 9)
+    kernel.run(until=1 * SECOND)
+
+    switch = decisions.index("safe")
+    metrics = {
+        "decisions_before_swap": switch,
+        "decisions_after_swap": len(decisions) - switch,
+        "swap_count": kernel.functions.slot("policy").swap_count,
+        "all_safe_after_swap": all(d == "safe" for d in decisions[switch:]),
+        "saw_learned": "learned" in decisions,
+    }
+    if report is not None:
+        report("fig1_a2_replace", format_table(
+            ["aspect", "value"],
+            [
+                ["decisions before swap", metrics["decisions_before_swap"]],
+                ["decisions after swap", metrics["decisions_after_swap"]],
+                ["slot swap count", metrics["swap_count"]],
+                ["fallback starts immediately",
+                 decisions[switch] == "safe"],
+            ],
+            title="A2 REPLACE: fall back to the known-safe policy"))
+    return metrics
+
+
+@scenario(cost=0.2, seed=43)
+def run_a3_retrain(report=None):
+    kernel = Kernel(seed=43, retrain_min_interval=1 * SECOND)
+    kernel.store.save("metric", 9)  # violating from the start
+    trained = []
+    kernel.retrain_queue.register_trainer(
+        "model", lambda request: trained.append(request))
+    monitor = kernel.guardrails.load(_spec("RETRAIN(model, LOAD(metric))"))
+    kernel.run(until=3 * SECOND)
+    completed = kernel.retrain_queue.drain()
+
+    queue = kernel.retrain_queue
+    metrics = {
+        "violations": monitor.violation_count,
+        "retrains_accepted": queue.accepted_count,
+        "retrains_rate_limited": queue.rejected_count,
+        "trainer_invocations": len(trained),
+        "data_ref": completed[0]["data_ref"],
+    }
+    if report is not None:
+        report("fig1_a3_retrain", format_table(
+            ["aspect", "value"],
+            [
+                ["violations (10 Hz checks)", metrics["violations"]],
+                ["retrains accepted", metrics["retrains_accepted"]],
+                ["retrains rate-limited", metrics["retrains_rate_limited"]],
+                ["trainer invocations after drain",
+                 metrics["trainer_invocations"]],
+                ["data_ref forwarded", metrics["data_ref"]],
+            ],
+            title="A3 RETRAIN: asynchronous, abuse-protected retraining"))
+    return metrics
+
+
+@scenario(cost=0.2, seed=44)
+def run_a4_deprioritize(report=None):
+    kernel = Kernel(seed=44)
+    sched = kernel.attach("sched", CpuScheduler(kernel))
+    sched.spawn("victim", burst_ns=5 * MILLISECOND)
+    sched.spawn("bystander", burst_ns=5 * MILLISECOND)
+    sched.spawn("expendable", burst_ns=5 * MILLISECOND)
+    kernel.store.save("metric", 9)
+    kernel.guardrails.load(
+        _spec("DEPRIORITIZE({victim, expendable}, {19, 0})"),
+        cooldown=10 * SECOND)
+    kernel.run(until=2 * SECOND)
+
+    stats = sched.wait_stats()
+    metrics = {
+        "victim_nice": sched.find_task("victim").nice,
+        "expendable_killed": sched.find_task("expendable").killed,
+        "victim_cpu_ms": round(stats["victim"]["executed_ms"], 3),
+        "expendable_cpu_ms": round(stats["expendable"]["executed_ms"], 3),
+        "bystander_cpu_ms": round(stats["bystander"]["executed_ms"], 3),
+    }
+    if report is not None:
+        report("fig1_a4_deprioritize", format_table(
+            ["task", "outcome", "cpu ms"],
+            [
+                ["victim", "reniced to 19",
+                 round(stats["victim"]["executed_ms"])],
+                ["expendable", "killed (priority 0)",
+                 round(stats["expendable"]["executed_ms"])],
+                ["bystander", "untouched",
+                 round(stats["bystander"]["executed_ms"])],
+            ],
+            title="A4 DEPRIORITIZE: free resources from the workload side"))
+    return metrics
+
+
+def scenarios():
+    return [
+        ("fig1_a1_report", run_a1_report),
+        ("fig1_a2_replace", run_a2_replace),
+        ("fig1_a3_retrain", run_a3_retrain),
+        ("fig1_a4_deprioritize", run_a4_deprioritize),
+    ]
+
+
+def test_a1_report(benchmark, report_sink):
+    metrics = benchmark.pedantic(
+        run_a1_report, kwargs={"report": report_sink},
+        rounds=1, iterations=1)
+    assert (metrics["reports_recorded"] == metrics["violations"]
+            and metrics["violations"] >= 5)
+    assert metrics["extra_metric"] == 99
 
 
 def test_a2_replace(benchmark, report_sink):
-    def scenario():
-        kernel = Kernel(seed=42)
-        decisions = []
-        kernel.functions.register("policy", lambda: decisions.append("learned"))
-        kernel.functions.register_implementation(
-            "fallback", lambda: decisions.append("safe"))
-        kernel.store.save("metric", 0)
-        monitor = kernel.guardrails.load(_spec("REPLACE(policy, fallback)"))
-
-        def call_policy(step=0):
-            kernel.functions.slot("policy")()
-            if step < 19:
-                kernel.engine.schedule(50 * MILLISECOND, call_policy, step + 1)
-
-        call_policy()
-        kernel.engine.schedule(500 * MILLISECOND,
-                               kernel.store.save, "metric", 9)
-        kernel.run(until=1 * SECOND)
-        return kernel, monitor, decisions
-
-    kernel, monitor, decisions = benchmark.pedantic(scenario, rounds=1,
-                                                    iterations=1)
-    switch = decisions.index("safe")
-    report_sink("fig1_a2_replace", format_table(
-        ["aspect", "value"],
-        [
-            ["decisions before swap", switch],
-            ["decisions after swap", len(decisions) - switch],
-            ["slot swap count", kernel.functions.slot("policy").swap_count],
-            ["fallback starts immediately", decisions[switch] == "safe"],
-        ],
-        title="A2 REPLACE: fall back to the known-safe policy"))
-    assert "learned" in decisions and "safe" in decisions
-    assert all(d == "safe" for d in decisions[switch:])
+    metrics = benchmark.pedantic(
+        run_a2_replace, kwargs={"report": report_sink},
+        rounds=1, iterations=1)
+    assert metrics["saw_learned"] and metrics["decisions_after_swap"] > 0
+    assert metrics["all_safe_after_swap"]
 
 
 def test_a3_retrain_with_rate_limit(benchmark, report_sink):
-    def scenario():
-        kernel = Kernel(seed=43, retrain_min_interval=1 * SECOND)
-        kernel.store.save("metric", 9)  # violating from the start
-        trained = []
-        kernel.retrain_queue.register_trainer(
-            "model", lambda request: trained.append(request))
-        monitor = kernel.guardrails.load(_spec("RETRAIN(model, LOAD(metric))"))
-        kernel.run(until=3 * SECOND)
-        completed = kernel.retrain_queue.drain()
-        return kernel, monitor, trained, completed
-
-    kernel, monitor, trained, completed = benchmark.pedantic(
-        scenario, rounds=1, iterations=1)
-    queue = kernel.retrain_queue
-    report_sink("fig1_a3_retrain", format_table(
-        ["aspect", "value"],
-        [
-            ["violations (10 Hz checks)", monitor.violation_count],
-            ["retrains accepted", queue.accepted_count],
-            ["retrains rate-limited", queue.rejected_count],
-            ["trainer invocations after drain", len(trained)],
-            ["data_ref forwarded", completed[0]["data_ref"]],
-        ],
-        title="A3 RETRAIN: asynchronous, abuse-protected retraining"))
+    metrics = benchmark.pedantic(
+        run_a3_retrain, kwargs={"report": report_sink},
+        rounds=1, iterations=1)
     # ~30 violations but only ~3 accepted retrains: the rate limit works.
-    assert monitor.violation_count >= 25
-    assert queue.accepted_count <= 4
-    assert queue.rejected_count >= 20
-    assert len(trained) == queue.accepted_count
+    assert metrics["violations"] >= 25
+    assert metrics["retrains_accepted"] <= 4
+    assert metrics["retrains_rate_limited"] >= 20
+    assert metrics["trainer_invocations"] == metrics["retrains_accepted"]
 
 
 def test_a4_deprioritize(benchmark, report_sink):
-    def scenario():
-        kernel = Kernel(seed=44)
-        sched = kernel.attach("sched", CpuScheduler(kernel))
-        sched.spawn("victim", burst_ns=5 * MILLISECOND)
-        sched.spawn("bystander", burst_ns=5 * MILLISECOND)
-        sched.spawn("expendable", burst_ns=5 * MILLISECOND)
-        kernel.store.save("metric", 9)
-        monitor = kernel.guardrails.load(
-            _spec("DEPRIORITIZE({victim, expendable}, {19, 0})"),
-            cooldown=10 * SECOND)
-        kernel.run(until=2 * SECOND)
-        return kernel, sched, monitor
-
-    kernel, sched, monitor = benchmark.pedantic(scenario, rounds=1,
-                                                iterations=1)
-    stats = sched.wait_stats()
-    report_sink("fig1_a4_deprioritize", format_table(
-        ["task", "outcome", "cpu ms"],
-        [
-            ["victim", "reniced to 19", round(stats["victim"]["executed_ms"])],
-            ["expendable", "killed (priority 0)",
-             round(stats["expendable"]["executed_ms"])],
-            ["bystander", "untouched", round(stats["bystander"]["executed_ms"])],
-        ],
-        title="A4 DEPRIORITIZE: free resources from the workload side"))
-    assert sched.find_task("victim").nice == 19
-    assert sched.find_task("expendable").killed
-    assert stats["bystander"]["executed_ms"] > stats["victim"]["executed_ms"] * 2
+    metrics = benchmark.pedantic(
+        run_a4_deprioritize, kwargs={"report": report_sink},
+        rounds=1, iterations=1)
+    assert metrics["victim_nice"] == 19
+    assert metrics["expendable_killed"]
+    assert metrics["bystander_cpu_ms"] > metrics["victim_cpu_ms"] * 2

@@ -12,62 +12,83 @@ Shape checks (not absolute numbers):
 """
 
 from repro.bench.report import format_series, format_table
-from repro.bench.scenarios import run_figure2_scenario
+from repro.bench.results import scenario
+from repro.bench.scenarios import (
+    run_figure2_scenario,
+    train_default_linnos_model,
+)
 from repro.sim.units import SECOND
 
 DRIFT_AT_S = 6
 DURATION_S = 16
 
 
-def test_figure2(linnos_model, benchmark, report_sink):
-    def run_all():
-        return {
-            mode: run_figure2_scenario(linnos_model, mode, seed=2,
-                                       drift_at_s=DRIFT_AT_S,
-                                       duration_s=DURATION_S)
-            for mode in ("baseline", "linnos", "guarded")
-        }
-
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-
-    lines = []
-    for mode, result in results.items():
-        times, averages = result.moving_average(window=200)
-        sampled = list(zip(
-            (round(t / SECOND, 1) for t in times[::400]), averages[::400]
-        ))
-        lines.append(format_series(
-            "moving average of I/O latency — {}".format(mode),
-            sampled, unit="us"))
-        lines.append("")
+@scenario(quick=False, cost=8.0, seed=2)
+def run_figure2(model=None, report=None):
+    """The full three-mode Figure 2 run; returns the summary-table metrics."""
+    if model is None:
+        model = train_default_linnos_model(seed=1, train_seconds=15)
+    results = {
+        mode: run_figure2_scenario(model, mode, seed=2,
+                                   drift_at_s=DRIFT_AT_S,
+                                   duration_s=DURATION_S)
+        for mode in ("baseline", "linnos", "guarded")
+    }
 
     guarded = results["guarded"]
     saves = guarded.kernel.reporter.notes_for(kind="SAVE")
     trigger_s = saves[0]["time"] / SECOND if saves else None
 
-    rows = [
-        [mode,
-         result.mean_between(1, DRIFT_AT_S),
-         result.mean_between(DRIFT_AT_S + 2, DURATION_S),
-         result.false_submits,
-         result.ml_enabled]
-        for mode, result in results.items()
-    ]
-    lines.append(format_table(
-        ["mode", "pre-drift us", "post-drift us", "false submits",
-         "ml enabled"],
-        rows, title="Figure 2 summary (drift at t={}s)".format(DRIFT_AT_S)))
-    lines.append("guardrail trigger time: t={}s".format(trigger_s))
-    report_sink("fig2_linnos", "\n".join(lines))
+    metrics = {"trigger_s": trigger_s}
+    for mode, result in results.items():
+        metrics[mode + "_pre_drift_us"] = round(
+            result.mean_between(1, DRIFT_AT_S), 3)
+        metrics[mode + "_post_drift_us"] = round(
+            result.mean_between(DRIFT_AT_S + 2, DURATION_S), 3)
+        metrics[mode + "_false_submits"] = result.false_submits
+        metrics[mode + "_ml_enabled"] = result.ml_enabled
+
+    if report is not None:
+        lines = []
+        for mode, result in results.items():
+            times, averages = result.moving_average(window=200)
+            sampled = list(zip(
+                (round(t / SECOND, 1) for t in times[::400]), averages[::400]
+            ))
+            lines.append(format_series(
+                "moving average of I/O latency — {}".format(mode),
+                sampled, unit="us"))
+            lines.append("")
+        rows = [
+            [mode,
+             metrics[mode + "_pre_drift_us"],
+             metrics[mode + "_post_drift_us"],
+             metrics[mode + "_false_submits"],
+             metrics[mode + "_ml_enabled"]]
+            for mode in results
+        ]
+        lines.append(format_table(
+            ["mode", "pre-drift us", "post-drift us", "false submits",
+             "ml enabled"],
+            rows, title="Figure 2 summary (drift at t={}s)".format(
+                DRIFT_AT_S)))
+        lines.append("guardrail trigger time: t={}s".format(trigger_s))
+        report("fig2_linnos", "\n".join(lines))
+    return metrics
+
+
+def scenarios():
+    return [("fig2_linnos", run_figure2)]
+
+
+def test_figure2(linnos_model, benchmark, report_sink):
+    metrics = benchmark.pedantic(
+        run_figure2, kwargs={"model": linnos_model, "report": report_sink},
+        rounds=1, iterations=1)
 
     # -- shape assertions --------------------------------------------------
-    base_pre = results["baseline"].mean_between(1, DRIFT_AT_S)
-    lin_pre = results["linnos"].mean_between(1, DRIFT_AT_S)
-    assert lin_pre < base_pre * 0.7
-
-    base_post = results["baseline"].mean_between(DRIFT_AT_S + 2, DURATION_S)
-    lin_post = results["linnos"].mean_between(DRIFT_AT_S + 2, DURATION_S)
-    grd_post = guarded.mean_between(DRIFT_AT_S + 2, DURATION_S)
-    assert lin_post > base_post
-    assert grd_post < lin_post
+    assert metrics["linnos_pre_drift_us"] < metrics["baseline_pre_drift_us"] * 0.7
+    assert metrics["linnos_post_drift_us"] > metrics["baseline_post_drift_us"]
+    assert metrics["guarded_post_drift_us"] < metrics["linnos_post_drift_us"]
+    trigger_s = metrics["trigger_s"]
     assert trigger_s is not None and DRIFT_AT_S < trigger_s <= DRIFT_AT_S + 3

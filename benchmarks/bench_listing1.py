@@ -7,34 +7,58 @@ incremental deployment at runtime, §3.3).
 """
 
 from repro.bench.report import format_table
+from repro.bench.results import scenario
 from repro.bench.scenarios import LISTING2_SPEC
 from repro.core.compiler import GuardrailCompiler
 from repro.core.spec import parse_guardrail
 
 
-def test_listing2_pipeline(benchmark, report_sink):
+def _full_pipeline():
     compiler = GuardrailCompiler()
+    spec = parse_guardrail(LISTING2_SPEC)
+    reparsed = parse_guardrail(spec.to_source())
+    return compiler.compile(reparsed)
 
-    def full_pipeline():
-        spec = parse_guardrail(LISTING2_SPEC)
-        reparsed = parse_guardrail(spec.to_source())
-        return compiler.compile(reparsed)
 
-    compiled = benchmark(full_pipeline)
+@scenario(cost=0.1)
+def run_listing2_pipeline(report=None):
+    compiled = _full_pipeline()
     spec = compiled.spec
-    report_sink("listing2_pipeline", format_table(
-        ["aspect", "value"],
-        [
-            ["name", spec.name],
-            ["triggers", "; ".join(t.to_source() for t in spec.triggers)],
-            ["rules", "; ".join(r.to_source() for r in spec.rules)],
-            ["actions", "; ".join(a.to_source() for a in spec.actions)],
-            ["verified cost (ops/check)", compiled.verification.total_cost],
-            ["estimated ops/s", round(
-                compiled.verification.estimated_ops_per_second, 1)],
-        ],
-        title="Listing 2 through the full parse/print/compile/verify pipeline"))
+    metrics = {
+        "name": spec.name,
+        "trigger_kind": compiled.trigger_params[0][0],
+        "timer_interval_ns": compiled.trigger_params[0][2],
+        "first_action": compiled.actions[0].kind,
+        "verified_cost_ops": compiled.verification.total_cost,
+        "estimated_ops_per_s": round(
+            compiled.verification.estimated_ops_per_second, 1),
+    }
+    if report is not None:
+        report("listing2_pipeline", format_table(
+            ["aspect", "value"],
+            [
+                ["name", spec.name],
+                ["triggers", "; ".join(t.to_source() for t in spec.triggers)],
+                ["rules", "; ".join(r.to_source() for r in spec.rules)],
+                ["actions", "; ".join(a.to_source() for a in spec.actions)],
+                ["verified cost (ops/check)", metrics["verified_cost_ops"]],
+                ["estimated ops/s", metrics["estimated_ops_per_s"]],
+            ],
+            title="Listing 2 through the full "
+                  "parse/print/compile/verify pipeline"))
+    return metrics
 
-    assert spec.name == "low-false-submit"
+
+def scenarios():
+    return [("listing2_pipeline", run_listing2_pipeline)]
+
+
+def test_listing2_pipeline(benchmark, report_sink):
+    compiled = benchmark(_full_pipeline)
+    assert compiled.spec.name == "low-false-submit"
     assert compiled.trigger_params[0] == ("timer", None, 10 ** 9, None)
     assert compiled.actions[0].kind == "SAVE"
+
+    metrics = run_listing2_pipeline(report=report_sink)
+    assert metrics["name"] == "low-false-submit"
+    assert metrics["first_action"] == "SAVE"

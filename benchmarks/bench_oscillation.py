@@ -6,6 +6,7 @@ dampening disables the younger guardrail and the system settles.
 """
 
 from repro.bench.report import format_table
+from repro.bench.results import scenario
 from repro.core.feedback import FeedbackDetector
 from repro.kernel import Kernel
 from repro.sim.units import SECOND
@@ -54,35 +55,52 @@ def _toggle_rate(kernel, start, end):
     return len(saves) / ((end - start) / SECOND)
 
 
+@scenario(cost=0.5, seed=54)
+def run_oscillation(report=None):
+    kernel = _coupled_kernel()
+    detector = FeedbackDetector(kernel, window=30 * SECOND)
+    kernel.run(until=15 * SECOND)
+    before_rate = _toggle_rate(kernel, 0, 15 * SECOND)
+    reports = detector.scan()
+    flapping = [r for r in reports if r.kind == "key-flapping"]
+    victim = detector.dampen(kernel.guardrails, flapping[0])
+    kernel.run(until=30 * SECOND)
+    after_rate = _toggle_rate(kernel, 15 * SECOND, 30 * SECOND)
+
+    metrics = {
+        "before_rate_per_s": round(before_rate, 4),
+        "after_rate_per_s": round(after_rate, 4),
+        "oscillation_reports": len(reports),
+        "report_kinds": ", ".join(sorted({r.kind for r in reports})),
+        "dampened_guardrail": victim,
+        "ml_enabled_settled": bool(kernel.store.load("ml_enabled")),
+    }
+
+    if report is not None:
+        rows = [
+            ["guardrail actions/s before dampening", round(before_rate, 2)],
+            ["oscillation reports", metrics["oscillation_reports"]],
+            ["report kinds", metrics["report_kinds"]],
+            ["dampened guardrail", victim],
+            ["guardrail actions/s after dampening", round(after_rate, 2)],
+            ["ml_enabled settled at", metrics["ml_enabled_settled"]],
+        ]
+        report("oscillation", format_table(
+            ["aspect", "value"], rows,
+            title="§6: two coupled guardrails oscillate until dampened"))
+    return metrics
+
+
+def scenarios():
+    return [("oscillation", run_oscillation)]
+
+
 def test_oscillation_and_dampening(benchmark, report_sink):
-    def scenario():
-        kernel = _coupled_kernel()
-        detector = FeedbackDetector(kernel, window=30 * SECOND)
-        kernel.run(until=15 * SECOND)
-        before_rate = _toggle_rate(kernel, 0, 15 * SECOND)
-        reports = detector.scan()
-        flapping = [r for r in reports if r.kind == "key-flapping"]
-        victim = detector.dampen(kernel.guardrails, flapping[0])
-        kernel.run(until=30 * SECOND)
-        after_rate = _toggle_rate(kernel, 15 * SECOND, 30 * SECOND)
-        return kernel, reports, victim, before_rate, after_rate
+    metrics = benchmark.pedantic(
+        run_oscillation, kwargs={"report": report_sink},
+        rounds=1, iterations=1)
 
-    kernel, reports, victim, before_rate, after_rate = benchmark.pedantic(
-        scenario, rounds=1, iterations=1)
-
-    rows = [
-        ["guardrail actions/s before dampening", round(before_rate, 2)],
-        ["oscillation reports", len(reports)],
-        ["report kinds", ", ".join(sorted({r.kind for r in reports}))],
-        ["dampened guardrail", victim],
-        ["guardrail actions/s after dampening", round(after_rate, 2)],
-        ["ml_enabled settled at", kernel.store.load("ml_enabled")],
-    ]
-    report_sink("oscillation", format_table(
-        ["aspect", "value"], rows,
-        title="§6: two coupled guardrails oscillate until dampened"))
-
-    assert before_rate >= 0.8                  # ~1 toggle per second
-    assert {r.kind for r in reports} == {"key-flapping", "action-ping-pong"}
-    assert victim == "quality-restorer"
-    assert after_rate <= before_rate / 5
+    assert metrics["before_rate_per_s"] >= 0.8   # ~1 toggle per second
+    assert metrics["report_kinds"] == "action-ping-pong, key-flapping"
+    assert metrics["dampened_guardrail"] == "quality-restorer"
+    assert metrics["after_rate_per_s"] <= metrics["before_rate_per_s"] / 5

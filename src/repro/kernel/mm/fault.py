@@ -16,8 +16,6 @@ Published keys:
 The ``mm.page_fault`` hook fires per fault.
 """
 
-from repro.sim.units import MICROSECOND, MILLISECOND, us
-
 
 def never_promote():
     """Baseline promotion policy: always use base pages."""

@@ -14,7 +14,15 @@ Listing 1).  Subcommands:
   print a human summary: hottest hooks, per-guardrail check/violation/
   action counters, and the violation/action timeline.  ``--jsonl`` and
   ``--chrome`` export the event stream (the latter loads in Perfetto or
-  ``chrome://tracing``).
+  ``chrome://tracing``);
+- ``bench``   — run the ``benchmarks/bench_*.py`` scenario suite on a
+  process pool, write machine-readable ``BENCH.json``, and optionally
+  gate the numbers against a committed baseline (the CI perf gate; see
+  ``docs/benchmarking.md``).
+
+Exit codes are uniform across subcommands: **0** success, **1** a check,
+gate, or scenario failed (the thing the subcommand exists to detect),
+**2** usage error (bad flags, unreadable input, unknown names).
 
 Usage::
 
@@ -24,6 +32,9 @@ Usage::
     python -m repro.tools.grctl fmt --check mygardrails.grd
     python -m repro.tools.grctl trace --scenario quick --chrome trace.json
     python -m repro.tools.grctl trace --replay run.jsonl --top 5
+    python -m repro.tools.grctl bench --jobs 4 --out BENCH.json
+    python -m repro.tools.grctl bench --quick --baseline \
+        benchmarks/BENCH_baseline.json --gate 0.15
 """
 
 import argparse
@@ -34,6 +45,10 @@ from repro.core.dependency import rule_load_keys
 from repro.core.errors import GuardrailError
 from repro.core.spec import parse_guardrails
 from repro.core.verifier import VerifierConfig
+
+
+class UsageError(Exception):
+    """Operator mistake (bad flag value, unreadable input): exit code 2."""
 
 
 def _build_parser():
@@ -87,14 +102,45 @@ def _build_parser():
                             "hook=16,featurestore.save=8")
     trace.add_argument("--top", type=int, default=10,
                        help="rows per top-N table")
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark suite sharded across processes")
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke tier: skip the model-training scenarios")
+    bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default 1)")
+    bench.add_argument("--filter", default=None, metavar="SUBSTR",
+                       help="only scenarios whose id or module contains "
+                            "SUBSTR")
+    bench.add_argument("--bench-dir", default="benchmarks",
+                       help="directory holding bench_*.py "
+                            "(default: benchmarks)")
+    bench.add_argument("--out", default="BENCH.json", metavar="PATH",
+                       help="merged results file (default: BENCH.json)")
+    bench.add_argument("--report-dir", default=None, metavar="DIR",
+                       help="where per-scenario text artifacts go "
+                            "(default: <bench-dir>/out)")
+    bench.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                       help="per-scenario timeout in seconds (default 300)")
+    bench.add_argument("--baseline", default=None, metavar="BENCH.json",
+                       help="gate results against this baseline file")
+    bench.add_argument("--gate", type=float, default=None, metavar="TOL",
+                       help="relative tolerance for the baseline gate "
+                            "(default 0.0 = exact; needs --baseline)")
+    bench.add_argument("--list", action="store_true", dest="list_only",
+                       help="list discovered scenarios and exit")
     return parser
 
 
 def _read(path):
     if path == "-":
         return sys.stdin.read()
-    with open(path) as handle:
-        return handle.read()
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        raise UsageError("cannot read {!r}: {}".format(
+            path, exc.strerror or exc))
 
 
 def _compiler(args):
@@ -190,7 +236,7 @@ def _parse_sample(spec):
         try:
             out[category.strip()] = int(every)
         except ValueError:
-            raise SystemExit(
+            raise UsageError(
                 "bad --sample entry {!r}; expected CAT=N".format(part))
     return out
 
@@ -212,7 +258,7 @@ def cmd_trace(args, out):
         try:
             events = read_jsonl(args.replay)
         except OSError as exc:
-            raise SystemExit("cannot read trace {!r}: {}".format(
+            raise UsageError("cannot read trace {!r}: {}".format(
                 args.replay, exc.strerror or exc))
         summary = summarize_events(events)
     else:
@@ -224,7 +270,7 @@ def cmd_trace(args, out):
         sample = _parse_sample(args.sample) if args.sample else None
         for name in tuple(categories or ()) + tuple(sample or ()):
             if name not in CATEGORIES:
-                raise SystemExit(
+                raise UsageError(
                     "unknown trace category {!r}; known: {}".format(
                         name, ", ".join(CATEGORIES)))
         with tracing(capacity=args.capacity, seed=args.seed,
@@ -258,12 +304,110 @@ def cmd_trace(args, out):
     return 0
 
 
+def cmd_bench(args, out):
+    # Deferred: keep `check`/`fmt` startup free of bench-module imports.
+    import pathlib
+
+    from repro.bench import results as bench_results
+    from repro.bench import runner as bench_runner
+
+    if args.jobs < 1:
+        raise UsageError("--jobs must be >= 1")
+    if args.gate is not None and args.baseline is None:
+        raise UsageError("--gate requires --baseline")
+    if args.timeout <= 0:
+        raise UsageError("--timeout must be positive")
+
+    try:
+        specs = bench_runner.select(
+            bench_runner.discover(args.bench_dir),
+            quick=args.quick, filter_expr=args.filter)
+    except bench_runner.DiscoveryError as exc:
+        raise UsageError(str(exc))
+    if not specs:
+        raise UsageError(
+            "no scenarios match filter {!r}".format(args.filter))
+
+    if args.list_only:
+        for spec in sorted(specs, key=lambda s: s.id):
+            out.write("{:<28} {:<26} tier={:<5} cost={:<4g} seed={}\n".format(
+                spec.id, spec.module, "quick" if spec.quick else "full",
+                spec.cost, spec.seed))
+        out.write("{} scenario(s)\n".format(len(specs)))
+        return 0
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = bench_results.load_document(args.baseline)
+        except OSError as exc:
+            raise UsageError("cannot read baseline {!r}: {}".format(
+                args.baseline, exc.strerror or exc))
+        except ValueError as exc:
+            raise UsageError("bad baseline {!r}: {}".format(
+                args.baseline, exc))
+
+    report_dir = args.report_dir
+    if report_dir is None:
+        report_dir = str(pathlib.Path(args.bench_dir) / "out")
+
+    import time as _time
+
+    started = _time.time()
+    scenario_results = bench_runner.run_scenarios(
+        specs, jobs=args.jobs, timeout_s=args.timeout, out_dir=report_dir,
+        progress=lambda message: out.write("  " + message + "\n"))
+    document = bench_results.make_document(
+        scenario_results, tier="quick" if args.quick else "full",
+        jobs=args.jobs, filter_expr=args.filter,
+        sha=bench_results.git_sha(), created_unix=started)
+    bench_results.save_document(document, args.out)
+
+    failed = [r for r in scenario_results if r["status"] != "ok"]
+    out.write("{} scenario(s), {} failure(s), {:.1f}s wall, "
+              "jobs={} -> {}\n".format(
+                  len(scenario_results), len(failed),
+                  _time.time() - started, args.jobs, args.out))
+    for result in failed:
+        tail = (result.get("error") or "").strip().splitlines()
+        out.write("FAIL  {} [{}]: {}\n".format(
+            result["id"], result["status"],
+            tail[-1] if tail else "no detail"))
+
+    exit_code = 1 if failed else 0
+    if baseline is not None:
+        tolerance = args.gate if args.gate is not None else 0.0
+        # A deliberately restricted run only gates what it selected; an
+        # unrestricted run also catches baseline scenarios that vanished.
+        selected_ids = ({s.id for s in specs}
+                        if (args.quick or args.filter) else None)
+        regressions = bench_results.compare_to_baseline(
+            document, baseline, tolerance, selected_ids=selected_ids)
+        for regression in regressions:
+            out.write(regression.render() + "\n")
+        gated = [b for b in baseline["scenarios"]
+                 if selected_ids is None or b["id"] in selected_ids]
+        if regressions:
+            out.write("gate: {} regression(s) beyond {:.0%} tolerance "
+                      "vs {}\n".format(len(regressions), tolerance,
+                                       args.baseline))
+            exit_code = 1
+        else:
+            out.write("gate: ok ({} scenario(s) within {:.0%} of {})\n"
+                      .format(len(gated), tolerance, args.baseline))
+    return exit_code
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
     handler = {"check": cmd_check, "inspect": cmd_inspect, "fmt": cmd_fmt,
-               "trace": cmd_trace}
-    return handler[args.command](args, out)
+               "trace": cmd_trace, "bench": cmd_bench}
+    try:
+        return handler[args.command](args, out)
+    except UsageError as error:
+        sys.stderr.write("grctl {}: error: {}\n".format(args.command, error))
+        return 2
 
 
 if __name__ == "__main__":

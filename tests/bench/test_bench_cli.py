@@ -1,0 +1,149 @@
+"""`grctl bench` end-to-end through main(), plus the uniform exit codes
+(0 success / 1 gate-or-scenario failure / 2 usage error) across
+subcommands."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.results import load_document
+from repro.tools.grctl import main
+from tests.bench.conftest import write_bench_dir
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def bench_argv(bench_dir, tmp_path, *extra):
+    return ["bench", "--bench-dir", str(bench_dir),
+            "--out", str(tmp_path / "BENCH.json"),
+            "--report-dir", str(tmp_path / "report")] + list(extra)
+
+
+def test_list_shows_tier_cost_seed(bench_dir, tmp_path):
+    code, out = run(bench_argv(bench_dir, tmp_path, "--list"))
+    assert code == 0
+    assert "alpha_slowtier" in out and "tier=full" in out
+    assert "3 scenario(s)" in out
+
+
+def test_quick_run_writes_valid_document(bench_dir, tmp_path):
+    code, out = run(bench_argv(bench_dir, tmp_path, "--quick", "--jobs", "2"))
+    assert code == 0
+    assert "2 scenario(s), 0 failure(s)" in out
+    document = load_document(tmp_path / "BENCH.json")
+    assert document["tier"] == "quick" and document["jobs"] == 2
+    assert [s["id"] for s in document["scenarios"]] == [
+        "alpha_mix", "beta_sum"]
+    assert all(s["status"] == "ok" for s in document["scenarios"])
+    # the report sink regenerated the text artifact
+    assert (tmp_path / "report" / "alpha_mix.txt").exists()
+
+
+def test_gate_passes_against_own_baseline_and_fails_when_injected(
+        bench_dir, tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    code, _ = run(["bench", "--bench-dir", str(bench_dir),
+                   "--out", str(baseline_path),
+                   "--report-dir", str(tmp_path / "report")])
+    assert code == 0
+
+    code, out = run(bench_argv(
+        bench_dir, tmp_path,
+        "--baseline", str(baseline_path), "--gate", "0.15"))
+    assert code == 0
+    assert "gate: ok (3 scenario(s) within 15%" in out
+
+    # Inject a 30% regression into the committed numbers: the next run
+    # must fail the 15% gate and name the drifted metric.
+    document = json.loads(baseline_path.read_text())
+    for entry in document["scenarios"]:
+        if entry["id"] == "alpha_mix":
+            entry["metrics"]["mean"] *= 1.3
+    baseline_path.write_text(json.dumps(document))
+    code, out = run(bench_argv(
+        bench_dir, tmp_path,
+        "--baseline", str(baseline_path), "--gate", "0.15"))
+    assert code == 1
+    assert "GATE  alpha_mix.mean" in out and "drifted" in out
+    assert "gate: 1 regression(s) beyond 15% tolerance" in out
+
+
+def test_quick_gate_skips_full_only_baseline_entries(bench_dir, tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    code, _ = run(["bench", "--bench-dir", str(bench_dir),
+                   "--out", str(baseline_path),
+                   "--report-dir", str(tmp_path / "report")])
+    assert code == 0
+    # a --quick run omits alpha_slowtier; the full-tier baseline must not
+    # count that as a missing scenario
+    code, out = run(bench_argv(
+        bench_dir, tmp_path, "--quick",
+        "--baseline", str(baseline_path), "--gate", "0.15"))
+    assert code == 0
+    assert "gate: ok (2 scenario(s)" in out
+
+
+def test_scenario_failure_exits_1(tmp_path):
+    root = write_bench_dir(tmp_path / "benchmarks", {
+        "bench_cli_raiser.py": """
+            def run(report=None):
+                raise RuntimeError("scenario blew up")
+
+            def scenarios():
+                return [("cli_raiser", run)]
+        """,
+    })
+    code, out = run(bench_argv(root, tmp_path))
+    assert code == 1
+    assert "1 failure(s)" in out
+    assert "FAIL  cli_raiser [error]: RuntimeError: scenario blew up" in out
+    # the document still records the failure for post-mortems
+    document = load_document(tmp_path / "BENCH.json")
+    assert document["scenarios"][0]["status"] == "error"
+
+
+@pytest.mark.parametrize("extra", [
+    ("--gate", "0.1"),                       # --gate without --baseline
+    ("--jobs", "0"),                         # jobs must be >= 1
+    ("--timeout", "0"),                      # timeout must be positive
+    ("--filter", "nosuchscenario"),          # empty selection
+    ("--baseline", "does_not_exist.json"),   # unreadable baseline
+])
+def test_bench_usage_errors_exit_2(bench_dir, tmp_path, extra, capsys):
+    code, _ = run(bench_argv(bench_dir, tmp_path, *extra))
+    assert code == 2
+    assert "grctl bench: error:" in capsys.readouterr().err
+
+
+def test_bench_bad_baseline_schema_exits_2(bench_dir, tmp_path, capsys):
+    bad = tmp_path / "bad_baseline.json"
+    bad.write_text(json.dumps({"schema_version": 999, "scenarios": []}))
+    code, _ = run(bench_argv(
+        bench_dir, tmp_path, "--baseline", str(bad), "--gate", "0.1"))
+    assert code == 2
+    assert "schema_version" in capsys.readouterr().err
+
+
+def test_bench_missing_dir_exits_2(tmp_path, capsys):
+    code, _ = run(bench_argv(tmp_path / "nope", tmp_path))
+    assert code == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [
+    ["check", "no_such_file.grd"],
+    ["inspect", "no_such_file.grd"],
+    ["fmt", "no_such_file.grd"],
+    ["trace", "--replay", "no_such_trace.jsonl"],
+    ["trace", "--sample", "hook=abc"],
+    ["trace", "--categories", "nosuchcategory"],
+])
+def test_usage_errors_exit_2_across_subcommands(argv, capsys):
+    code, _ = run(argv)
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Feedback-loop (oscillation) detection and dampening (§6)."""
 
-import pytest
 
 from repro.core.feedback import FeedbackDetector
 from repro.core.registry import GuardrailManager

@@ -1,6 +1,5 @@
 """Monitor runtime: evaluation, violations, dispatch, cooldown, overhead."""
 
-import pytest
 
 from repro.core.compiler import GuardrailCompiler
 from repro.sim.units import SECOND

@@ -1,6 +1,5 @@
 """Overhead accounting and the inference cost/benefit meter."""
 
-import pytest
 
 from repro.core.featurestore import FeatureStore
 from repro.core.overhead import CostModel, InferenceMeter, OverheadAccount

@@ -1,7 +1,6 @@
 """Cross-cutting integration: incremental deployment, multi-guardrail kernels,
 runtime update, dependency conversion — on a live simulated kernel."""
 
-import pytest
 
 from repro.core.dependency import convert_to_dependency_triggered
 from repro.core.properties import decision_quality, fairness_liveness

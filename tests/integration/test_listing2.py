@@ -1,6 +1,5 @@
 """Listing 2 executes verbatim against the storage substrate."""
 
-import pytest
 
 from repro.bench.scenarios import LISTING2_SPEC, build_storage_kernel
 from repro.kernel.storage.volume import PickDecision

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel.cache import KvCache, lru_evict, random_evict
-from repro.sim.units import SECOND
 
 
 @pytest.fixture

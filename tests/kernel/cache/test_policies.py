@@ -1,7 +1,6 @@
 """Eviction policies against known access patterns."""
 
 import numpy as np
-import pytest
 
 from repro.kernel.cache.cache import ShadowCache
 from repro.kernel.cache.policies import lfu_evict, lru_evict, mru_evict, random_evict

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel.storage.ssd import FAST_STATE, SLOW_STATE, DeviceProfile, SsdDevice
-from repro.sim.engine import Engine
 from repro.sim.units import MILLISECOND, SECOND
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.kernel.cache import KvCache, lru_evict, random_evict
+from repro.kernel.cache import KvCache, random_evict
 from repro.kernel.cache.cache import ShadowCache
 from repro.policies.cachepol import LearnedReusePolicy, attach_learned_cache_policy
 

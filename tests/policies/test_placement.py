@@ -1,11 +1,9 @@
 """Learned tiered-memory placement."""
 
 import numpy as np
-import pytest
 
 from repro.kernel.mm import TieredMemory
 from repro.policies.placement import LearnedPlacementPolicy, attach_learned_placement
-from repro.sim.units import MILLISECOND
 
 
 def drive(kernel, tiered, keys, gap=100_000):

@@ -1,6 +1,5 @@
 """Learned SJF scheduler policy: the P6 starvation story."""
 
-import pytest
 
 from repro.core.properties import fairness_liveness
 from repro.kernel.sched import CpuScheduler

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import SimulationError
 
 
 def test_starts_at_time_zero(engine):

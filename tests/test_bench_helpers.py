@@ -1,6 +1,5 @@
 """Bench harness helpers: formatting and shared scenarios."""
 
-import pytest
 
 from repro.bench.report import format_series, format_table
 from repro.bench.scenarios import (

@@ -5,7 +5,6 @@ The fast ones run in the normal suite; the expensive ones are marked slow.
 
 import pathlib
 import runpy
-import sys
 
 import pytest
 

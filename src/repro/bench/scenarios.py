@@ -9,6 +9,7 @@ import collections
 from repro.kernel import Kernel
 from repro.kernel.storage import (
     DeviceProfile,
+    PickDecision,
     PoissonWorkload,
     ReplicatedVolume,
     SsdDevice,
@@ -210,12 +211,23 @@ def run_trace_demo_scenario(seed=7, duration_s=4):
 
 
 def run_figure2_scenario(model, mode, seed=2, drift_at_s=6, duration_s=18,
-                         rate_ios=1200, guardrail_spec=LISTING2_SPEC):
+                         rate_ios=1200, guardrail_spec=LISTING2_SPEC,
+                         fault_plan=None, supervise=False,
+                         breaker_config=None, slow_call_ns=None):
     """One Figure 2 run.
 
     ``mode``: ``'baseline'`` (round-robin only), ``'linnos'`` (model, no
     guardrail), or ``'guarded'`` (model + the Listing 2 guardrail).
     Mid-run, every device shifts to the post-drift profile.
+
+    ``fault_plan`` optionally arms a :class:`~repro.faults.plan.FaultPlan`
+    against the run (the injector is attached to the result as
+    ``result.injector``); ``supervise=True`` wraps the pick slot in a
+    :class:`~repro.faults.supervisor.PolicySupervisor` (attached as
+    ``result.policy_supervisor``) so injected crashes are contained and the
+    breaker REPLACEs the policy with round-robin.  The injector installs
+    *before* the supervisor: faults fire inside the supervised call.  With
+    neither argument the run is byte-identical to the pre-faults scenario.
     """
     if mode not in ("baseline", "linnos", "guarded"):
         raise ValueError("unknown mode {!r}".format(mode))
@@ -226,9 +238,117 @@ def run_figure2_scenario(model, mode, seed=2, drift_at_s=6, duration_s=18,
         volume.install_policy("storage.linnos", policy)
     if mode == "guarded":
         kernel.guardrails.load(guardrail_spec)
+    injector = supervisor = None
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(kernel, fault_plan).install()
+    if supervise:
+        from repro.faults.supervisor import PolicySupervisor, make_pick_validator
+
+        supervisor = PolicySupervisor(
+            kernel, volume.PICK_SLOT, volume.FALLBACK_NAME,
+            config=breaker_config,
+            validator=make_pick_validator(len(devices)),
+            slow_call_ns=slow_call_ns)
     schedule_profile_change(kernel, devices, DeviceProfile.post_drift(),
                             drift_at_s * SECOND)
     PoissonWorkload(kernel, volume,
                     [(duration_s * SECOND, rate_ios)]).start()
     kernel.run(until=duration_s * SECOND)
-    return Fig2Result(mode, kernel, volume, policy)
+    result = Fig2Result(mode, kernel, volume, policy)
+    result.injector = injector
+    result.policy_supervisor = supervisor
+    return result
+
+
+FAULTS_DEMO_SPEC = """
+// The `grctl faults` quick scenario: a TIMER guardrail over the trailing
+// time-average latency.  Corrupt/stale store reads hit its LOAD; its REPORT
+// remedy gives action dispatches for the trace to show.
+guardrail latency-bound {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { LOAD(io_latency_us.tavg) <= 2000 },
+  action: { REPORT() }
+}
+"""
+
+
+class FaultsDemoResult:
+    """Everything the chaos demo reports for one run."""
+
+    def __init__(self, kernel, volume, monitor, injector, supervisor):
+        self.kernel = kernel
+        self.volume = volume
+        self.monitor = monitor
+        self.injector = injector
+        self.policy_supervisor = supervisor
+
+    @property
+    def completed(self):
+        return self.volume.completed
+
+    def stats(self):
+        """One JSON-friendly dict: injections, containment, breakers."""
+        return {
+            "completed_ios": self.volume.completed,
+            "injected": self.injector.stats() if self.injector else None,
+            "policy": (self.policy_supervisor.stats()
+                       if self.policy_supervisor else None),
+            "monitors": self.kernel.supervisor.stats(),
+            "guardrail": self.monitor.stats(),
+        }
+
+
+def shortest_queue_policy(inference_ns=2_000):
+    """The demo's stand-in learned policy: pick the shallowest queue.
+
+    Flagged ``used_model=True`` so fallback engagement is visible in the
+    volume's model-submit accounting, with a small nonzero ``inference_ns``
+    so ``stall`` faults have a latency to inflate.
+    """
+    def pick(volume):
+        index = min(range(len(volume.devices)),
+                    key=lambda i: volume.devices[i].queue_depth)
+        return PickDecision(index, used_model=True, predicted_fast=True,
+                            inference_ns=inference_ns)
+
+    return pick
+
+
+def run_faults_demo_scenario(seed=11, duration_s=12, rate_ios=800,
+                             fault_plan=None, breaker_config=None,
+                             slow_call_ns=1_000_000):
+    """A small self-contained chaos run for ``grctl faults`` and the bench.
+
+    A synthetic storage kernel serves a Poisson read workload through a
+    shortest-queue stand-in policy (installed as ``storage.shortest_queue``)
+    watched by one TIMER guardrail over ``io_latency_us.tavg``.  The pick
+    slot is wrapped in a :class:`PolicySupervisor` (validator + 1 ms
+    slow-call ceiling), so any ``fault_plan`` aimed at the slot or the store
+    exercises the full containment path: inject -> contain -> trip ->
+    REPLACE with round-robin -> re-arm.  Without a plan the run is a clean
+    deterministic baseline.
+    """
+    from repro.faults.supervisor import PolicySupervisor, make_pick_validator
+
+    kernel, devices, volume = build_storage_kernel(seed=seed)
+    kernel.store.derive_time_average("io_latency_us", window=2 * SECOND)
+    volume.install_policy("storage.shortest_queue", shortest_queue_policy())
+    monitor = kernel.guardrails.load(FAULTS_DEMO_SPEC, cooldown=2 * SECOND)
+
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(kernel, fault_plan).install()
+    supervisor = PolicySupervisor(
+        kernel, volume.PICK_SLOT, volume.FALLBACK_NAME,
+        config=breaker_config,
+        validator=make_pick_validator(len(devices)),
+        slow_call_ns=slow_call_ns)
+
+    PoissonWorkload(kernel, volume,
+                    [(duration_s * SECOND, rate_ios)]).start()
+    kernel.run(until=duration_s * SECOND)
+    return FaultsDemoResult(kernel, volume, monitor, injector, supervisor)

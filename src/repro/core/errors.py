@@ -45,3 +45,7 @@ class StoreError(GuardrailError):
 
 class ActionError(GuardrailError):
     """An action could not be executed (unknown fallback, missing trainer...)."""
+
+
+class FaultError(GuardrailError):
+    """A fault-injection plan is invalid or cannot be installed."""

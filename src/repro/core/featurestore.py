@@ -72,7 +72,9 @@ class _DerivedRate(_DerivedKey):
 class FeatureStore:
     """Global key/value store with derived aggregates and change tracking."""
 
-    def __init__(self, clock=None):
+    MAX_SUBSCRIBER_ERRORS = 100
+
+    def __init__(self, clock=None, strict_notify=False):
         self._clock = clock if clock is not None else (lambda: 0)
         self._values = {}
         self._derived = {}      # derived key name -> _DerivedKey
@@ -81,6 +83,12 @@ class FeatureStore:
         self._subscribers = []  # callbacks (key, value, now)
         self.save_count = 0
         self.load_count = 0
+        # ``strict_notify=True`` restores the pre-containment behavior: a
+        # raising subscriber aborts notification (kept so regression tests
+        # can demonstrate the bug the containment fixes).
+        self.strict_notify = strict_notify
+        self.subscriber_error_count = 0
+        self.subscriber_errors = []  # bounded: most recent contained crashes
 
     def _check_key(self, key):
         if not isinstance(key, str) or not _KEY_RE.match(key):
@@ -146,11 +154,39 @@ class FeatureStore:
         # Copy: a subscriber may (un)subscribe, or trigger saves that
         # re-enter _bump, while we iterate.
         for callback in list(self._subscribers):
-            callback(key, value, now)
+            try:
+                callback(key, value, now)
+            except Exception as error:
+                # The value is already written; one crashing subscriber must
+                # not starve the remaining subscribers of the change.
+                # Contained per callback, counted, logged (bounded), traced.
+                if self.strict_notify:
+                    raise
+                self.subscriber_error_count += 1
+                if len(self.subscriber_errors) >= self.MAX_SUBSCRIBER_ERRORS:
+                    self.subscriber_errors.pop(0)
+                self.subscriber_errors.append({
+                    "key": key,
+                    "time": now,
+                    "subscriber": getattr(callback, "__qualname__",
+                                          repr(callback)),
+                    "error": "{}: {}".format(type(error).__name__, error),
+                })
+                if TRACER.active:
+                    TRACER.emit("supervisor", "subscriber_crash", now,
+                                args={"key": key,
+                                      "error": type(error).__name__})
 
     def subscribe(self, callback):
-        """Call ``callback(key, value, now)`` on every key change."""
-        self._subscribers.append(callback)
+        """Call ``callback(key, value, now)`` on every key change.
+
+        Subscribing an already-subscribed callback is idempotent: the
+        callback stays registered exactly once (one delivery per change),
+        and any of the returned ``unsubscribe`` handles removes that single
+        registration.  ``unsubscribe`` itself is idempotent.
+        """
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
 
         def unsubscribe():
             try:

@@ -8,6 +8,7 @@ unit tests can build a bare host without any kernel subsystems.
 
 from repro.core.featurestore import FeatureStore
 from repro.core.functions import FunctionTable
+from repro.faults.supervisor import MonitorSupervisor
 from repro.sim.engine import Engine
 from repro.sim.hooks import HookRegistry
 from repro.trace.tracer import TRACER
@@ -127,7 +128,8 @@ class MonitorHost:
     """Everything a guardrail monitor needs from the surrounding system."""
 
     def __init__(self, engine=None, hooks=None, store=None, functions=None,
-                 retrain_queue=None, task_controller=None, reporter=None):
+                 retrain_queue=None, task_controller=None, reporter=None,
+                 supervisor=None):
         self.engine = engine if engine is not None else Engine()
         self.hooks = hooks if hooks is not None else HookRegistry(self.engine)
         self.store = store if store is not None else FeatureStore(
@@ -139,3 +141,8 @@ class MonitorHost:
             task_controller if task_controller is not None else NullTaskController()
         )
         self.reporter = reporter if reporter is not None else ViolationReporter()
+        # Crash-only containment: monitors report crashing rules/actions
+        # here; the supervisor trips per-guardrail circuit breakers.
+        self.supervisor = (
+            supervisor if supervisor is not None else MonitorSupervisor(self)
+        )

@@ -55,6 +55,8 @@ class GuardrailMonitor:
         self._last_fired = {}  # rule source -> last action-dispatch time
         self.action_dispatch_count = 0
         self.action_error_count = 0
+        self.rule_crash_count = 0
+        self.action_crash_count = 0
 
     def _build_trigger(self, params):
         if params[0] == "timer":
@@ -102,10 +104,23 @@ class GuardrailMonitor:
             span = TRACER.begin("monitor.check", self.name, now,
                                 guardrail=self.name)
             cost_before = self.overhead.simulated_ns
+        crashes_before = self.rule_crash_count + self.action_crash_count
         new_violations = []
         for source, program, _cost in self.compiled.rules:
             ctx = EvalContext(self.host.store, now, payload)
-            result = program(ctx)
+            try:
+                result = program(ctx)
+            except Exception as error:
+                # Crash-only: a rule program blowing up (corrupt store data,
+                # a broken compiled expression) is contained like missing
+                # data, counted, and escalated to the supervisor's breaker.
+                self.rule_crash_count += 1
+                self.overhead.charge_check(ctx.ops)
+                if tracing:
+                    TRACER.emit("rule.eval", source, now, guardrail=self.name,
+                                args={"error": type(error).__name__})
+                self.host.supervisor.record_rule_crash(self, error, now)
+                continue
             self.overhead.charge_check(ctx.ops)
             if tracing:
                 TRACER.emit("rule.eval", source, now, guardrail=self.name,
@@ -129,6 +144,12 @@ class GuardrailMonitor:
             TRACER.note_check(self.name, cost)
             TRACER.end(span, now + cost,
                        args={"violations": len(new_violations)})
+        if crashes_before:
+            # This guardrail has crashed before: a crash-free check is the
+            # success signal that closes a half-open breaker.  Guardrails
+            # that never crashed skip the call entirely.
+            if self.rule_crash_count + self.action_crash_count == crashes_before:
+                self.host.supervisor.record_check_success(self.name, now)
         return new_violations
 
     def _maybe_dispatch(self, violation):
@@ -159,6 +180,18 @@ class GuardrailMonitor:
                     TRACER.emit("action", action.kind, violation.time,
                                 guardrail=self.name,
                                 args={"rule": violation.rule, "error": str(error)})
+            except Exception as error:
+                # Anything else (KeyError, ZeroDivisionError...) is a crash,
+                # not a misconfiguration — contained all the same, counted
+                # separately, and escalated to the supervisor's breaker.
+                self.action_crash_count += 1
+                if tracing:
+                    TRACER.emit("action", action.kind, violation.time,
+                                guardrail=self.name,
+                                args={"rule": violation.rule,
+                                      "crash": type(error).__name__})
+                self.host.supervisor.record_action_crash(
+                    self, error, violation.time)
             else:
                 self.action_dispatch_count += 1
                 if tracing:
@@ -184,6 +217,8 @@ class GuardrailMonitor:
             "inconclusive": self.inconclusive_count,
             "action_dispatches": self.action_dispatch_count,
             "action_errors": self.action_error_count,
+            "rule_crashes": self.rule_crash_count,
+            "action_crashes": self.action_crash_count,
             "overhead": self.overhead.snapshot(),
         }
 

@@ -1,0 +1,50 @@
+"""repro.faults — deterministic fault injection and crash-only supervision.
+
+Three pieces:
+
+- :mod:`repro.faults.plan` — declarative fault plans (JSON documents or
+  ``--fault`` CLI flags) naming what to break, where, and in which
+  virtual-time window;
+- :mod:`repro.faults.injector` — arms a plan against a live host: policies
+  raise / return garbage / stall, feature-store keys serve stale or
+  corrupt reads;
+- :mod:`repro.faults.supervisor` — circuit breakers that contain the
+  damage: per-guardrail monitor supervision (crashing rules and actions
+  are counted, the monitor is disarmed after K consecutive crashes and
+  re-armed with exponential virtual-time backoff) and function-slot
+  supervision that falls back to the heuristic policy through the
+  existing A2 REPLACE action path.
+
+``grctl faults`` drives all of it from the command line; ``docs/faults.md``
+documents the plan format and breaker semantics.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    parse_fault_flag,
+)
+from repro.faults.supervisor import (
+    BreakerConfig,
+    CircuitBreaker,
+    MonitorSupervisor,
+    PolicySupervisor,
+    make_pick_validator,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "MonitorSupervisor",
+    "PolicySupervisor",
+    "make_pick_validator",
+    "parse_fault_flag",
+]

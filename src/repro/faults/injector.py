@@ -1,0 +1,170 @@
+"""Deterministic fault injection against a live monitor host.
+
+The injector takes a :class:`~repro.faults.plan.FaultPlan` and arms it
+against a host: policy faults wrap the targeted function slot (so whatever
+is bound there — learned policy, heuristic, another wrapper — misbehaves on
+cue), and feature-store faults wrap ``store.load`` so chosen keys serve
+stale or corrupt values inside their windows.
+
+Injection is reproducible: windows are virtual-time, probabilistic faults
+draw from named RNG streams derived from the *plan* seed (independent of
+the workload seed), and every injection is counted, logged (bounded), and
+emitted as a ``fault`` trace event.
+
+Composition with supervision: install the injector **before** building a
+:class:`~repro.faults.supervisor.PolicySupervisor` on the same slot, so the
+supervisor wraps the faulted policy (crashes are injected inside, contained
+outside).  The heuristic fallback the supervisor swaps in is a different
+implementation and is therefore never faulted.
+"""
+
+from repro.core.errors import FaultError
+from repro.faults.plan import InjectedFault
+from repro.sim.rng import RngStreams
+from repro.trace.tracer import TRACER
+
+
+class _FaultingPolicy:
+    """Wraps one function-slot implementation with its policy faults."""
+
+    __slots__ = ("injector", "inner", "specs")
+
+    def __init__(self, injector, inner, specs):
+        self.injector = injector
+        self.inner = inner
+        self.specs = specs
+
+    def __call__(self, *args, **kwargs):
+        injector = self.injector
+        now = injector.host.engine.now
+        nan_spec = stall_spec = None
+        for spec in self.specs:
+            if not injector._fires(spec, now):
+                continue
+            if spec.kind == "raise":
+                injector._record(spec, now)
+                raise InjectedFault(
+                    "injected crash in {} at t={}ns".format(spec.target, now))
+            if spec.kind == "nan" and nan_spec is None:
+                nan_spec = spec
+            elif spec.kind == "stall" and stall_spec is None:
+                stall_spec = spec
+        if nan_spec is not None:
+            injector._record(nan_spec, now)
+            return float("nan")
+        result = self.inner(*args, **kwargs)
+        if stall_spec is not None and hasattr(result, "inference_ns"):
+            injector._record(stall_spec, now)
+            result.inference_ns = (result.inference_ns or 0) + stall_spec.latency_ns
+        return result
+
+
+class FaultInjector:
+    """Arms a fault plan against one host; see the module docstring."""
+
+    MAX_LOG = 10_000
+
+    def __init__(self, host, plan):
+        self.host = host
+        self.plan = plan
+        self.rng = RngStreams(plan.seed)
+        self.injected_count = 0
+        self.injected_by_kind = {}
+        self.injected = []  # bounded log of {"time", "kind", "target"}
+        self.injected_dropped = 0
+        self._counts = [0] * len(plan)
+        self._installed = False
+        self._frozen = {}  # store key -> value frozen at window start
+
+    def install(self):
+        """Wrap every targeted slot and key; returns self for chaining."""
+        if self._installed:
+            raise FaultError("fault plan is already installed")
+        self._installed = True
+        for slot_name, specs in sorted(self.plan.policy_faults().items()):
+            slot = self.host.functions.slot(slot_name)  # raises on unknown
+            slot.current = _FaultingPolicy(self, slot.current, specs)
+        store_faults = self.plan.store_faults()
+        if store_faults:
+            self._wrap_store(store_faults)
+        return self
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _fires(self, spec, now):
+        if not spec.active(now):
+            return False
+        if spec.count is not None and self._counts[spec.index] >= spec.count:
+            return False
+        if spec.probability < 1.0:
+            stream = self.rng.get("fault.{}".format(spec.index))
+            if stream.random() >= spec.probability:
+                return False
+        return True
+
+    def _record(self, spec, now):
+        self._counts[spec.index] += 1
+        self.injected_count += 1
+        self.injected_by_kind[spec.kind] = (
+            self.injected_by_kind.get(spec.kind, 0) + 1)
+        if len(self.injected) < self.MAX_LOG:
+            self.injected.append(
+                {"time": now, "kind": spec.kind, "target": spec.target})
+        else:
+            self.injected_dropped += 1
+        if TRACER.active:
+            TRACER.emit("fault", spec.kind, now,
+                        args={"target": spec.target})
+
+    # -- feature-store faults ----------------------------------------------
+
+    def _wrap_store(self, store_faults):
+        store = self.host.store
+        inner_load = store.load
+        engine = self.host.engine
+
+        for key, specs in sorted(store_faults.items()):
+            for spec in specs:
+                if spec.kind != "stale":
+                    continue
+                # Freeze the value the key has when the window opens; loads
+                # inside the window then serve that snapshot.
+                def freeze(key=key):
+                    self._frozen[key] = inner_load(key)
+
+                if spec.start_ns <= engine.now:
+                    freeze()
+                else:
+                    engine.schedule_at(spec.start_ns, freeze)
+
+        def faulted_load(key, default=None):
+            specs = store_faults.get(key)
+            if specs:
+                now = engine.now
+                for spec in specs:
+                    if self._fires(spec, now):
+                        self._record(spec, now)
+                        store.load_count += 1
+                        if spec.kind == "corrupt":
+                            return float("nan")
+                        return self._frozen.get(key)
+            return inner_load(key, default)
+
+        store.load = faulted_load
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self):
+        return {
+            "injected": self.injected_count,
+            "by_kind": dict(sorted(self.injected_by_kind.items())),
+            "per_fault": {
+                "{}@{}".format(spec.kind, spec.target): self._counts[i]
+                for i, spec in enumerate(self.plan)
+            },
+            "log_dropped": self.injected_dropped,
+        }
+
+    def __repr__(self):
+        return "FaultInjector({} fault(s), injected={})".format(
+            len(self.plan), self.injected_count)

@@ -43,6 +43,7 @@ class HookPoint:
         self.engine = engine
         self._probes = []
         self.fire_count = 0
+        self.probe_error_count = 0
         self._fire_depth = 0
         self._deferred_removals = []
 
@@ -90,7 +91,21 @@ class HookPoint:
             for i in range(count):
                 probe = probes[i]
                 if probe._attached_to is self:
-                    probe.callback(self.name, now, payload)
+                    try:
+                        probe.callback(self.name, now, payload)
+                    except Exception as error:
+                        # Crash-only: one raising probe (a sample buffer, a
+                        # collector) must not abort the firing site or starve
+                        # the probes behind it.  Guardrail probes contain
+                        # their own crashes in the monitor; anything that
+                        # reaches here is counted and traced instead of
+                        # tearing the run down.
+                        self.probe_error_count += 1
+                        if TRACER.active:
+                            TRACER.emit(
+                                "supervisor", "probe_crash", now,
+                                args={"hook": self.name, "probe": probe.name,
+                                      "error": type(error).__name__})
         finally:
             self._fire_depth -= 1
             if not self._fire_depth and self._deferred_removals:

@@ -18,7 +18,12 @@ Listing 1).  Subcommands:
 - ``bench``   — run the ``benchmarks/bench_*.py`` scenario suite on a
   process pool, write machine-readable ``BENCH.json``, and optionally
   gate the numbers against a committed baseline (the CI perf gate; see
-  ``docs/benchmarking.md``).
+  ``docs/benchmarking.md``);
+- ``faults``  — run a chaos scenario under a declarative fault plan
+  (``--plan faults.json`` or repeatable ``--fault KIND@TARGET[:...]``
+  flags) and print the containment story: injections, contained
+  crashes, circuit-breaker timeline, REPLACE fallbacks.  Exit 0 when
+  every fault was contained, 1 when one escaped (see ``docs/faults.md``).
 
 Exit codes are uniform across subcommands: **0** success, **1** a check,
 gate, or scenario failed (the thing the subcommand exists to detect),
@@ -35,6 +40,9 @@ Usage::
     python -m repro.tools.grctl bench --jobs 4 --out BENCH.json
     python -m repro.tools.grctl bench --quick --baseline \
         benchmarks/BENCH_baseline.json --gate 0.15
+    python -m repro.tools.grctl faults --list
+    python -m repro.tools.grctl faults \
+        --fault raise@storage.pick_device:start=3,stop=5 --seed 11
 """
 
 import argparse
@@ -129,6 +137,38 @@ def _build_parser():
                             "(default 0.0 = exact; needs --baseline)")
     bench.add_argument("--list", action="store_true", dest="list_only",
                        help="list discovered scenarios and exit")
+
+    faults = sub.add_parser(
+        "faults", help="run a chaos scenario under a declarative fault plan")
+    faults.add_argument("--list", action="store_true", dest="list_only",
+                        help="list fault kinds and the --fault grammar, "
+                             "then exit")
+    faults.add_argument("--scenario", choices=("demo", "fig2"),
+                        default="demo",
+                        help="demo: synthetic storage run with a supervised "
+                             "stand-in policy (default); fig2: the guarded "
+                             "LinnOS run with a supervised pick slot "
+                             "(trains the model first — slower)")
+    faults.add_argument("--plan", metavar="FILE", default=None,
+                        help="JSON fault plan (see docs/faults.md)")
+    faults.add_argument("--fault", action="append", default=[],
+                        metavar="SPEC",
+                        help="one fault as KIND@TARGET[:key=value,...]; "
+                             "repeatable (mutually exclusive with --plan)")
+    faults.add_argument("--seed", type=int, default=None,
+                        help="fault-plan RNG seed (default: the plan "
+                             "file's seed, else 0)")
+    faults.add_argument("--duration", type=float, default=None,
+                        help="scenario duration in simulated seconds")
+    faults.add_argument("--threshold", type=int, default=3, metavar="K",
+                        help="breaker trips after K consecutive crashes "
+                             "(default 3)")
+    faults.add_argument("--backoff", type=float, default=1.0, metavar="S",
+                        help="base breaker re-arm backoff in virtual "
+                             "seconds (default 1.0)")
+    faults.add_argument("--json", metavar="PATH", default=None,
+                        dest="json_out",
+                        help="write the run's full accounting as JSON")
     return parser
 
 
@@ -398,11 +438,159 @@ def cmd_bench(args, out):
     return exit_code
 
 
+def _faults_plan(args):
+    """Build the FaultPlan (or None for a clean run) from the CLI flags."""
+    from repro.core.errors import FaultError
+    from repro.faults.plan import FaultPlan
+
+    if args.plan and args.fault:
+        raise UsageError("--plan and --fault are mutually exclusive")
+    try:
+        if args.plan:
+            try:
+                plan = FaultPlan.from_file(args.plan)
+            except OSError as exc:
+                raise UsageError("cannot read plan {!r}: {}".format(
+                    args.plan, exc.strerror or exc))
+            if args.seed is not None:
+                plan.seed = args.seed
+            return plan
+        if args.fault:
+            return FaultPlan.from_flags(args.fault, seed=args.seed or 0)
+    except FaultError as error:
+        raise UsageError(str(error))
+    return None
+
+
+def _render_faults_summary(out, stats):
+    from repro.sim.units import SECOND
+
+    plan = stats["plan"]
+    if plan is None:
+        out.write("plan: <none> (clean run)\n")
+    else:
+        out.write("plan: {} fault(s), seed={}\n".format(
+            len(plan["faults"]), plan["seed"]))
+    injected = stats["injected"]
+    if injected is not None:
+        kinds = "  ".join("{}={}".format(kind, count) for kind, count
+                          in injected["by_kind"].items())
+        out.write("injected: {} fault(s){}\n".format(
+            injected["injected"], "  [" + kinds + "]" if kinds else ""))
+    policy = stats["policy"]
+    if policy is not None:
+        breaker = policy["breaker"]
+        out.write("policy {}: crashes={} garbage={} slow={} "
+                  "fallback_calls={} replaces={}\n".format(
+                      policy["slot"], policy["crashes"],
+                      policy["invalid_outputs"], policy["slow_calls"],
+                      policy["fallback_calls"], policy["replaces"]))
+        out.write("  breaker: {} (trips={}, backoff={:.3f}s)\n".format(
+            breaker["state"], breaker["trips"],
+            breaker["backoff_ns"] / SECOND))
+        for move in breaker["transitions"]:
+            out.write("  t={:>8.3f}s  {} -> {}\n".format(
+                move["time"] / SECOND, move["from"], move["to"]))
+    monitors = stats["monitors"]
+    out.write("monitor supervisor: rule_crashes={} action_crashes={} "
+              "suppressed={}\n".format(
+                  monitors["rule_crashes"], monitors["action_crashes"],
+                  monitors["suppressed"]))
+    for name, breaker in monitors["breakers"].items():
+        out.write("  guardrail {}: {} (failures={}, trips={})\n".format(
+            name, breaker["state"], breaker["failures"], breaker["trips"]))
+        for move in breaker["transitions"]:
+            out.write("    t={:>8.3f}s  {} -> {}\n".format(
+                move["time"] / SECOND, move["from"], move["to"]))
+
+
+def cmd_faults(args, out):
+    # Deferred imports, same policy as trace/bench: `check`/`fmt` stay fast.
+    from repro.faults.plan import FAULT_KINDS
+
+    if args.list_only:
+        out.write("fault kinds (--fault KIND@TARGET[:key=value,...]):\n")
+        for kind in sorted(FAULT_KINDS):
+            out.write("  {:<8} {}\n".format(kind, FAULT_KINDS[kind]))
+        out.write("options: start=S stop=S (virtual seconds), "
+                  "p=P (per-opportunity probability),\n"
+                  "         count=N (max injections), "
+                  "latency_us=U (stall latency)\n")
+        out.write("example: --fault raise@storage.pick_device:start=3,stop=5"
+                  " \\\n         --fault corrupt@false_submit_rate:start=6,"
+                  "p=0.5 --seed 11\n")
+        return 0
+
+    import json as _json
+
+    from repro.core.errors import GuardrailError
+    from repro.faults.supervisor import BreakerConfig
+    from repro.sim.units import SECOND
+
+    if args.threshold < 1:
+        raise UsageError("--threshold must be >= 1")
+    if args.backoff <= 0:
+        raise UsageError("--backoff must be positive")
+    plan = _faults_plan(args)
+    config = BreakerConfig(crash_threshold=args.threshold,
+                           base_backoff_ns=int(args.backoff * SECOND))
+    try:
+        if args.scenario == "fig2":
+            from repro.bench.scenarios import (
+                run_figure2_scenario,
+                train_default_linnos_model,
+            )
+
+            out.write("training the LinnOS model (fig2 scenario)...\n")
+            model = train_default_linnos_model(seed=1, train_seconds=12)
+            result = run_figure2_scenario(
+                model, "guarded", seed=2,
+                duration_s=int(args.duration or 16),
+                fault_plan=plan, supervise=True, breaker_config=config)
+            kernel = result.kernel
+            injector, supervisor = result.injector, result.policy_supervisor
+        else:
+            from repro.bench.scenarios import run_faults_demo_scenario
+
+            result = run_faults_demo_scenario(
+                duration_s=int(args.duration or 12),
+                fault_plan=plan, breaker_config=config)
+            kernel = result.kernel
+            injector, supervisor = result.injector, result.policy_supervisor
+    except GuardrailError as error:
+        # Misconfigured plan (unknown slot name and friends) surfaces at
+        # install time as a typed error: operator mistake, exit 2.
+        raise UsageError(str(error))
+    except Exception as error:
+        # The thing `faults` exists to detect: a fault that escaped
+        # containment and took the run down.
+        out.write("ESCAPED: {}: {}\n".format(type(error).__name__, error))
+        return 1
+
+    stats = {
+        "scenario": args.scenario,
+        "duration_s": args.duration or (16 if args.scenario == "fig2" else 12),
+        "plan": plan.to_dict() if plan is not None else None,
+        "injected": injector.stats() if injector is not None else None,
+        "policy": supervisor.stats() if supervisor is not None else None,
+        "monitors": kernel.supervisor.stats(),
+    }
+    _render_faults_summary(out, stats)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            _json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write("wrote accounting to {}\n".format(args.json_out))
+    out.write("contained: every injected fault was absorbed; "
+              "the run completed\n")
+    return 0
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
     handler = {"check": cmd_check, "inspect": cmd_inspect, "fmt": cmd_fmt,
-               "trace": cmd_trace, "bench": cmd_bench}
+               "trace": cmd_trace, "bench": cmd_bench, "faults": cmd_faults}
     try:
         return handler[args.command](args, out)
     except UsageError as error:

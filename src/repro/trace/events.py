@@ -19,6 +19,8 @@ CATEGORIES = (
     "action",
     "featurestore.save",
     "retrain",
+    "fault",
+    "supervisor",
 )
 
 PHASE_INSTANT = "i"

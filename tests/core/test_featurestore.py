@@ -165,3 +165,62 @@ def test_subscriber_mutation_during_bump_is_safe(store):
     unsubscribes.append(store.subscribe(subscriber))
     store.save("a", 1)
     store.save("a", 2)
+
+
+# -- crash containment in the notify path (the _bump bugfix) ----------------
+
+
+def test_crashing_subscriber_does_not_starve_the_rest(store):
+    seen = []
+
+    def bomb(key, value, now):
+        raise KeyError("subscriber bug")
+
+    store.subscribe(bomb)
+    store.subscribe(lambda k, v, now: seen.append((k, v)))
+    store.save("a", 1)          # must not raise
+    assert seen == [("a", 1)]   # the later subscriber still heard about it
+    assert store.load("a") == 1  # and the value itself was written
+    assert store.subscriber_error_count == 1
+    entry = store.subscriber_errors[0]
+    assert entry["key"] == "a"
+    assert "KeyError" in entry["error"]
+    assert "bomb" in entry["subscriber"]
+
+
+def test_strict_notify_reproduces_the_pre_fix_abort():
+    # The escape hatch keeps the original bug demonstrable: with
+    # strict_notify a raising subscriber aborts the remaining deliveries.
+    store = FeatureStore(strict_notify=True)
+    seen = []
+    store.subscribe(lambda k, v, now: (_ for _ in ()).throw(KeyError("bug")))
+    store.subscribe(lambda k, v, now: seen.append(k))
+    with pytest.raises(KeyError):
+        store.save("a", 1)
+    assert seen == []           # the second subscriber was starved
+
+
+def test_subscriber_error_log_is_bounded(store):
+    store.subscribe(lambda k, v, now: (_ for _ in ()).throw(ValueError("x")))
+    for i in range(store.MAX_SUBSCRIBER_ERRORS + 10):
+        store.save("a", i)
+    assert store.subscriber_error_count == store.MAX_SUBSCRIBER_ERRORS + 10
+    assert len(store.subscriber_errors) == store.MAX_SUBSCRIBER_ERRORS
+
+
+def test_double_subscribe_is_idempotent(store):
+    # The dedup bugfix: subscribing the same callback twice must not double
+    # every notification.
+    seen = []
+
+    def subscriber(key, value, now):
+        seen.append(key)
+
+    first = store.subscribe(subscriber)
+    second = store.subscribe(subscriber)
+    store.save("a", 1)
+    assert seen == ["a"]        # one delivery, not two
+    second()                    # either handle removes the one registration
+    store.save("a", 2)
+    assert seen == ["a"]
+    first()                     # and the other stays harmlessly idempotent

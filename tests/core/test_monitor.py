@@ -146,7 +146,8 @@ def test_stats_shape(host):
     assert stats["name"] == "g"
     assert set(stats) == {
         "name", "enabled", "checks", "violations", "inconclusive",
-        "action_dispatches", "action_errors", "overhead",
+        "action_dispatches", "action_errors", "rule_crashes",
+        "action_crashes", "overhead",
     }
 
 
@@ -184,3 +185,54 @@ guardrail broken {
     errors = host.reporter.notes_for(kind="ACTION_ERROR")
     assert "ghost.slot" in errors[0]["detail"]
     assert monitor.stats()["action_errors"] == 2
+
+
+class _BombAction:
+    """An action handler with a plain bug: raises a non-GuardrailError."""
+
+    kind = "BOMB"
+
+    def execute(self, ctx):
+        raise KeyError("action handler bug")
+
+    def trace_detail(self):
+        return ""
+
+
+def test_crashing_action_contained_and_counted(host):
+    # The _maybe_dispatch bugfix: only GuardrailError used to be caught, so
+    # a KeyError from one action aborted the whole simulation run.
+    host.store.save("metric", 99)
+    monitor = load(host, SIMPLE)
+    monitor.compiled.actions.insert(0, _BombAction())
+    host.engine.run(until=1 * SECOND)  # must not raise
+    assert monitor.action_crash_count == 1
+    assert monitor.action_error_count == 0   # crash, not misconfiguration
+    assert host.store.load("flag") is True   # later actions still ran
+    assert monitor.stats()["action_crashes"] == 1
+    assert host.supervisor.action_crash_count == 1
+    notes = host.reporter.notes_for(kind="ACTION_CRASH")
+    assert notes and "KeyError" in notes[0]["detail"]
+
+
+def test_crashing_action_pre_fix_reproduction(host):
+    # With containment off the original crash comes back.
+    host.supervisor.contain = False
+    host.store.save("metric", 99)
+    monitor = load(host, SIMPLE)
+    monitor.compiled.actions.insert(0, _BombAction())
+    import pytest
+
+    with pytest.raises(KeyError, match="action handler bug"):
+        host.engine.run(until=1 * SECOND)
+
+
+def test_repeated_action_crashes_trip_the_guardrail_breaker(host):
+    host.store.save("metric", 99)
+    monitor = load(host, SIMPLE)
+    monitor.compiled.actions.insert(0, _BombAction())
+    host.engine.run(until=5 * SECOND)
+    breaker = host.supervisor.breaker("g")
+    assert breaker.trip_count >= 1
+    assert monitor.action_crash_count >= 3
+    assert host.reporter.notes_for(kind="BREAKER_OPEN")

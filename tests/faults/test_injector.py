@@ -1,0 +1,139 @@
+"""Deterministic fault injection against slots and the feature store."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ActionError, FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, InjectedFault
+from repro.kernel.storage import PickDecision
+from repro.sim.units import SECOND
+from repro.trace.tracer import tracing
+
+
+@pytest.fixture
+def slotted_host(host):
+    host.functions.register("policy", lambda: PickDecision(0, inference_ns=100))
+    return host
+
+
+def install(host, *flags, seed=0):
+    return FaultInjector(host, FaultPlan.from_flags(flags, seed=seed)).install()
+
+
+def test_raise_fault_only_inside_window(slotted_host):
+    injector = install(slotted_host, "raise@policy:start=2,stop=4")
+    slot = slotted_host.functions.slot("policy")
+    assert slot().index == 0                   # t=0: before the window
+    slotted_host.engine.run(until=3 * SECOND)
+    with pytest.raises(InjectedFault):
+        slot()
+    slotted_host.engine.run(until=5 * SECOND)
+    assert slot().index == 0                   # window closed again
+    assert injector.injected_count == 1
+
+
+def test_nan_fault_skips_the_inner_policy(slotted_host):
+    calls = []
+    slotted_host.functions.slot("policy").current = (
+        lambda: calls.append(1) or PickDecision(0))
+    install(slotted_host, "nan@policy")
+    result = slotted_host.functions.slot("policy")()
+    assert isinstance(result, float) and math.isnan(result)
+    assert not calls
+
+
+def test_stall_fault_inflates_inference_ns(slotted_host):
+    install(slotted_host, "stall@policy:latency_us=900")
+    result = slotted_host.functions.slot("policy")()
+    assert result.index == 0                   # decision still served
+    assert result.inference_ns == 100 + 900_000
+
+
+def test_count_caps_total_injections(slotted_host):
+    injector = install(slotted_host, "raise@policy:count=2")
+    slot = slotted_host.functions.slot("policy")
+    for _ in range(2):
+        with pytest.raises(InjectedFault):
+            slot()
+    assert slot().index == 0
+    assert injector.injected_count == 2
+
+
+def test_probability_draws_are_reproducible():
+    def run(seed):
+        from repro.core.host import MonitorHost
+
+        host = MonitorHost()
+        host.functions.register("policy", lambda: PickDecision(0))
+        injector = install(host, "raise@policy:p=0.4", seed=seed)
+        fired = []
+        for i in range(50):
+            try:
+                host.functions.slot("policy")()
+            except InjectedFault:
+                fired.append(i)
+        return fired, injector.injected_count
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_stale_store_fault_freezes_window_start_value(kernel):
+    kernel.store.save("metric", 10)
+    FaultInjector(kernel, FaultPlan.from_flags(
+        ["stale@metric:start=2,stop=5"])).install()
+    kernel.engine.schedule_at(1 * SECOND, kernel.store.save, "metric", 20)
+    kernel.engine.schedule_at(3 * SECOND, kernel.store.save, "metric", 30)
+    kernel.engine.run(until=3 * SECOND)
+    assert kernel.store.load("metric") == 20   # frozen at the t=2s snapshot
+    kernel.engine.run(until=6 * SECOND)
+    assert kernel.store.load("metric") == 30   # live again after the window
+
+
+def test_corrupt_store_fault_serves_nan(kernel):
+    kernel.store.save("metric", 10)
+    injector = FaultInjector(kernel, FaultPlan.from_flags(
+        ["corrupt@metric:stop=1"])).install()
+    assert math.isnan(kernel.store.load("metric"))
+    assert kernel.store.load("other", default=4) == 4   # untargeted keys live
+    kernel.engine.run(until=2 * SECOND)
+    assert kernel.store.load("metric") == 10
+    assert injector.injected_by_kind == {"corrupt": 1}
+
+
+def test_unknown_slot_target_fails_at_install(host):
+    with pytest.raises(ActionError, match="unknown function slot"):
+        install(host, "raise@no.such.slot")
+
+
+def test_double_install_rejected(slotted_host):
+    injector = FaultInjector(slotted_host,
+                             FaultPlan.from_flags(["raise@policy"]))
+    injector.install()
+    with pytest.raises(FaultError, match="already installed"):
+        injector.install()
+
+
+def test_injections_emit_fault_trace_events(slotted_host):
+    install(slotted_host, "raise@policy")
+    with tracing() as tracer:
+        with pytest.raises(InjectedFault):
+            slotted_host.functions.slot("policy")()
+    events = tracer.events(category="fault")
+    assert [e.name for e in events] == ["raise"]
+    assert events[0].args == {"target": "policy"}
+
+
+def test_stats_shape(slotted_host):
+    injector = install(slotted_host, "raise@policy:count=1", "nan@policy")
+    slot = slotted_host.functions.slot("policy")
+    with pytest.raises(InjectedFault):
+        slot()
+    slot()
+    stats = injector.stats()
+    assert stats["injected"] == 2
+    assert stats["by_kind"] == {"nan": 1, "raise": 1}
+    assert stats["per_fault"] == {"raise@policy": 1, "nan@policy": 1}
+    assert stats["log_dropped"] == 0

@@ -1,0 +1,103 @@
+"""Figure 2 under injected policy crashes: the run completes, the breaker
+trips and re-arms at exact virtual times, and the REPLACE fallback engages.
+
+Expensive (trains the model); marked slow like the other fig2 suites.
+"""
+
+import pytest
+
+from repro.bench.scenarios import run_figure2_scenario, train_default_linnos_model
+from repro.faults.plan import FaultPlan
+from repro.faults.supervisor import STATE_CLOSED
+from repro.sim.units import SECOND
+
+DRIFT_AT_S = 6
+DURATION_S = 16
+CRASH_START_S, CRASH_STOP_S = 8, 10
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def model():
+    return train_default_linnos_model(seed=1, train_seconds=12)
+
+
+@pytest.fixture(scope="module")
+def plain(model):
+    return run_figure2_scenario(model, "guarded", seed=2,
+                                drift_at_s=DRIFT_AT_S, duration_s=DURATION_S)
+
+
+@pytest.fixture(scope="module")
+def supervised_clean(model):
+    return run_figure2_scenario(model, "guarded", seed=2,
+                                drift_at_s=DRIFT_AT_S, duration_s=DURATION_S,
+                                supervise=True)
+
+
+@pytest.fixture(scope="module")
+def faulted(model):
+    plan = FaultPlan.from_flags(
+        ["raise@storage.pick_device:start={},stop={}".format(
+            CRASH_START_S, CRASH_STOP_S)],
+        seed=11)
+    return run_figure2_scenario(model, "guarded", seed=2,
+                                drift_at_s=DRIFT_AT_S, duration_s=DURATION_S,
+                                fault_plan=plan, supervise=True)
+
+
+def test_clean_supervision_does_not_perturb_the_run(plain, supervised_clean):
+    # The supervisor on a healthy policy must be a pure pass-through: no RNG
+    # draws, no scheduled events, bit-identical latency series.
+    assert supervised_clean.policy_supervisor.crash_count == 0
+    assert supervised_clean.policy_supervisor.replace_count == 0
+    assert supervised_clean.series.values == plain.series.values
+    assert supervised_clean.false_submits == plain.false_submits
+    assert supervised_clean.volume.completed == plain.volume.completed
+
+
+def test_faulted_run_completes_end_to_end(faulted):
+    assert faulted.kernel.now == DURATION_S * SECOND
+    # I/O kept completing after the crash window closed.
+    post_window = faulted.series.window(
+        (CRASH_STOP_S + 1) * SECOND, DURATION_S * SECOND)
+    assert post_window
+    assert faulted.injector.injected_count >= 3
+    assert all(CRASH_START_S * SECOND <= e["time"] < CRASH_STOP_S * SECOND
+               for e in faulted.injector.injected)
+
+
+def test_breaker_trips_and_rearms_at_expected_virtual_times(faulted):
+    supervisor = faulted.policy_supervisor
+    assert supervisor.crash_count >= 3
+    breaker = supervisor.breaker
+    transitions = breaker.transitions
+    trip, rearm = transitions[0], transitions[1]
+    assert (trip["from"], trip["to"]) == ("closed", "open")
+    assert CRASH_START_S * SECOND <= trip["time"] < CRASH_STOP_S * SECOND
+    # Virtual-time backoff is exact: the half-open probe point is the trip
+    # time plus the base backoff, to the nanosecond.
+    assert (rearm["from"], rearm["to"]) == ("open", "half_open")
+    assert rearm["time"] == trip["time"] + SECOND
+    # Once the window closes, a probe succeeds and the breaker closes.
+    assert breaker.state == STATE_CLOSED
+    assert transitions[-1]["to"] == "closed"
+    assert transitions[-1]["time"] >= CRASH_STOP_S * SECOND
+
+
+def test_replace_fallback_engaged_through_the_a2_path(faulted):
+    supervisor = faulted.policy_supervisor
+    assert supervisor.replace_count >= 1
+    notes = faulted.kernel.reporter.notes_for(kind="REPLACE")
+    breaker_notes = [n for n in notes
+                     if n["guardrail"] == "supervisor:storage.pick_device"]
+    assert breaker_notes
+    assert ("storage.pick_device -> storage.round_robin"
+            in breaker_notes[0]["detail"])
+    # Contained crashes were each served by the fallback in the meantime.
+    assert supervisor.fallback_call_count == supervisor.crash_count
+    # After the run the probe path is live again: the supervisor holds the
+    # slot, with the learned policy back as the inner implementation.
+    slot = faulted.kernel.functions.slot("storage.pick_device")
+    assert slot.current is supervisor

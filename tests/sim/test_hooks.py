@@ -186,3 +186,32 @@ def test_reentrant_fire_from_probe_is_safe(hooks):
     assert point.probe_count == 1
     point.fire()
     assert seen == ["outer", "outer", "other", "outer"]
+
+
+def test_crashing_probe_is_contained_and_counted(hooks):
+    # Crash-only containment: a raising probe must not abort the firing
+    # site (a kernel code path) or starve the probes behind it.
+    point = hooks.declare("p")
+    seen = []
+    point.attach(lambda *a: (_ for _ in ()).throw(RuntimeError("probe bug")),
+                 name="bomb")
+    point.attach(lambda name, now, payload: seen.append(payload["x"]))
+    point.fire(x=1)             # must not raise
+    point.fire(x=2)
+    assert seen == [1, 2]
+    assert point.probe_error_count == 2
+    assert point.fire_count == 2
+
+
+def test_crashing_probe_emits_supervisor_trace_event(hooks):
+    from repro.trace.tracer import tracing
+
+    point = hooks.declare("p")
+    point.attach(lambda *a: (_ for _ in ()).throw(ValueError("bug")),
+                 name="bomb")
+    with tracing() as tracer:
+        point.fire()
+    events = tracer.events(category="supervisor")
+    assert [e.name for e in events] == ["probe_crash"]
+    assert events[0].args == {"hook": "p", "probe": "bomb",
+                              "error": "ValueError"}

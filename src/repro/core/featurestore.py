@@ -78,9 +78,10 @@ class FeatureStore:
         self._clock = clock if clock is not None else (lambda: 0)
         self._values = {}
         self._derived = {}      # derived key name -> _DerivedKey
-        self._by_source = {}    # source key -> [derived keys]
+        self._by_source = {}    # source key -> (derived keys, ...) tuple
         self._versions = {}     # key -> monotonically increasing int
         self._subscribers = []  # callbacks (key, value, now)
+        self._valid_keys = set()  # keys that already passed _KEY_RE
         self.save_count = 0
         self.load_count = 0
         # ``strict_notify=True`` restores the pre-containment behavior: a
@@ -91,12 +92,27 @@ class FeatureStore:
         self.subscriber_errors = []  # bounded: most recent contained crashes
 
     def _check_key(self, key):
+        # Fast lane: every validated key lands in ``_valid_keys``, so the
+        # per-save/per-load cost of a known key is one set lookup, not a
+        # regex match.  ``in`` raises TypeError for unhashable non-strings,
+        # which the except folds into the usual StoreError.
+        try:
+            if key in self._valid_keys:
+                return
+        except TypeError:
+            raise StoreError("invalid feature-store key: {!r}".format(key))
         if not isinstance(key, str) or not _KEY_RE.match(key):
             raise StoreError("invalid feature-store key: {!r}".format(key))
+        self._valid_keys.add(key)
 
     def save(self, key, value):
         """SAVE(key, value) — store a raw value and feed derived keys."""
-        self._check_key(key)
+        try:
+            unseen = key not in self._valid_keys
+        except TypeError:
+            raise StoreError("invalid feature-store key: {!r}".format(key))
+        if unseen:
+            self._check_key(key)
         if key in self._derived:
             raise StoreError(
                 "key {!r} is derived (from {!r}) and cannot be saved directly"
@@ -113,16 +129,15 @@ class FeatureStore:
             )
         self._values[key] = value
         self._bump(key, value, now)
-        if isinstance(value, bool):
-            numeric = float(value)
-        elif isinstance(value, (int, float)):
-            numeric = float(value)
-        else:
-            numeric = None
-        if numeric is not None:
-            for derived in self._by_source.get(key, ()):
-                derived.update(numeric, now)
-                self._bump(derived.name, None, now)
+        # bool is an int subclass, so one isinstance covers the bool branch.
+        if isinstance(value, (int, float)):
+            fanout = self._by_source.get(key)
+            if fanout is not None:
+                numeric = float(value)
+                bump = self._bump
+                for derived in fanout:
+                    derived.update(numeric, now)
+                    bump(derived.name, None, now)
 
     def load(self, key, default=None):
         """LOAD(key) — raw value or current derived-aggregate value.
@@ -130,13 +145,21 @@ class FeatureStore:
         Missing keys return ``default`` (``None`` unless given); rules treat
         a ``None`` load as "no data yet", which never violates.
         """
-        self._check_key(key)
+        try:
+            unseen = key not in self._valid_keys
+        except TypeError:
+            raise StoreError("invalid feature-store key: {!r}".format(key))
+        if unseen:
+            self._check_key(key)
         self.load_count += 1
-        now = self._clock()
-        if key in self._derived:
-            return self._derived[key].value(now)
-        if key in self._values:
-            return self._values[key]
+        # Raw and derived keys are disjoint by construction; the raw branch
+        # skips the clock read (only derived values are time-dependent).
+        values = self._values
+        if key in values:
+            return values[key]
+        derived = self._derived.get(key)
+        if derived is not None:
+            return derived.value(self._clock())
         return default
 
     def __contains__(self, key):
@@ -150,7 +173,10 @@ class FeatureStore:
         return self._versions.get(key, 0)
 
     def _bump(self, key, value, now):
-        self._versions[key] = self._versions.get(key, 0) + 1
+        versions = self._versions
+        versions[key] = versions.get(key, 0) + 1
+        if not self._subscribers:
+            return
         # Copy: a subscriber may (un)subscribe, or trigger saves that
         # re-enter _bump, while we iterate.
         for callback in list(self._subscribers):
@@ -204,7 +230,10 @@ class FeatureStore:
         if derived.name in self._derived or derived.name in self._values:
             raise StoreError("derived key {!r} already exists".format(derived.name))
         self._derived[derived.name] = derived
-        self._by_source.setdefault(derived.source, []).append(derived)
+        # Tuples: the save-path fan-out iterates this on every numeric save,
+        # and registration is rare enough that rebuild-on-append is free.
+        self._by_source[derived.source] = (
+            self._by_source.get(derived.source, ()) + (derived,))
         return derived.name
 
     def derive_moving_average(self, source, window, name=None):
@@ -245,9 +274,17 @@ class FeatureStore:
         return self._register_derived(_DerivedRate(name, source, window, predicate))
 
     def snapshot(self):
-        """All current raw values plus derived values (for REPORT payloads)."""
+        """All current raw values plus derived values (for REPORT payloads).
+
+        NaN means "no data" throughout the rule language, so NaN raw values
+        are dropped exactly like NaN derived aggregates — a REPORT payload
+        is uniformly "keys with data".
+        """
         now = self._clock()
-        out = dict(self._values)
+        out = {
+            key: value for key, value in self._values.items()
+            if not (isinstance(value, float) and math.isnan(value))
+        }
         for name, derived in self._derived.items():
             value = derived.value(now)
             if isinstance(value, float) and math.isnan(value):

@@ -45,6 +45,15 @@ class GuardrailMonitor:
         self.name = compiled.name
         self.host = host
         self.overhead = OverheadAccount(cost_model)
+        # Hot-path aliases: check() runs per trigger firing, so the stable
+        # attribute chains (host.engine, host.store, compiled.rules) are
+        # resolved once here.  The store is aliased by *object* — fault
+        # injection swaps the load method on the instance, never the
+        # instance itself — and rule programs resolve ctx.store.load late
+        # for the same reason.
+        self._engine = host.engine
+        self._store = host.store
+        self._rules = compiled.rules
         self.triggers = [self._build_trigger(p) for p in compiled.trigger_params]
         self.enabled = False
         self.check_count = 0
@@ -91,23 +100,27 @@ class GuardrailMonitor:
         self.check(payload)
 
     def check(self, payload=None):
-        """Evaluate all rules once; returns the list of new violations."""
+        """Evaluate all rules once; returns the list of new violations.
+
+        The untraced body below is the hot lane every trigger firing runs
+        through; the traced variant (identical semantics plus span/event
+        emission) lives in :meth:`_check_traced` so this one carries no
+        per-rule tracing branches.
+        """
+        if TRACER.active:
+            return self._check_traced(payload)
         payload = payload or {}
-        now = self.host.engine.now
+        now = self._engine.now
         self.check_count += 1
-        # One predicate check when tracing is off; the span's virtual-clock
-        # duration is this check's charge to the overhead account.
-        tracing = TRACER.active
-        span = None
-        cost_before = 0
-        if tracing:
-            span = TRACER.begin("monitor.check", self.name, now,
-                                guardrail=self.name)
-            cost_before = self.overhead.simulated_ns
         crashes_before = self.rule_crash_count + self.action_crash_count
         new_violations = []
-        for source, program, _cost in self.compiled.rules:
-            ctx = EvalContext(self.host.store, now, payload)
+        # One EvalContext for the whole check, reset between rules, with the
+        # store and overhead lookups hoisted out of the rule loop — rules in
+        # a check share everything but their op counter.
+        ctx = EvalContext(self._store, now, payload)
+        charge_check = self.overhead.charge_check
+        for source, program, _cost in self._rules:
+            ctx.ops = 0
             try:
                 result = program(ctx)
             except Exception as error:
@@ -115,16 +128,10 @@ class GuardrailMonitor:
                 # a broken compiled expression) is contained like missing
                 # data, counted, and escalated to the supervisor's breaker.
                 self.rule_crash_count += 1
-                self.overhead.charge_check(ctx.ops)
-                if tracing:
-                    TRACER.emit("rule.eval", source, now, guardrail=self.name,
-                                args={"error": type(error).__name__})
+                charge_check(ctx.ops)
                 self.host.supervisor.record_rule_crash(self, error, now)
                 continue
-            self.overhead.charge_check(ctx.ops)
-            if tracing:
-                TRACER.emit("rule.eval", source, now, guardrail=self.name,
-                            args={"result": result, "ops": ctx.ops})
+            charge_check(ctx.ops)
             if result is None:
                 self.inconclusive_count += 1
                 continue
@@ -134,20 +141,59 @@ class GuardrailMonitor:
                 if len(self.violations) < self.max_recorded_violations:
                     self.violations.append(violation)
                 new_violations.append(violation)
-                if tracing:
-                    TRACER.emit("monitor.check", "violation", now,
-                                guardrail=self.name, args={"rule": source})
-                    TRACER.note_violation(self.name)
                 self._maybe_dispatch(violation)
-        if tracing:
-            cost = self.overhead.simulated_ns - cost_before
-            TRACER.note_check(self.name, cost)
-            TRACER.end(span, now + cost,
-                       args={"violations": len(new_violations)})
         if crashes_before:
             # This guardrail has crashed before: a crash-free check is the
             # success signal that closes a half-open breaker.  Guardrails
             # that never crashed skip the call entirely.
+            if self.rule_crash_count + self.action_crash_count == crashes_before:
+                self.host.supervisor.record_check_success(self.name, now)
+        return new_violations
+
+    def _check_traced(self, payload=None):
+        """check() with span/event emission; only runs while tracing."""
+        payload = payload or {}
+        now = self._engine.now
+        self.check_count += 1
+        span = TRACER.begin("monitor.check", self.name, now,
+                            guardrail=self.name)
+        cost_before = self.overhead.simulated_ns
+        crashes_before = self.rule_crash_count + self.action_crash_count
+        new_violations = []
+        ctx = EvalContext(self._store, now, payload)
+        charge_check = self.overhead.charge_check
+        for source, program, _cost in self._rules:
+            ctx.ops = 0
+            try:
+                result = program(ctx)
+            except Exception as error:
+                self.rule_crash_count += 1
+                charge_check(ctx.ops)
+                TRACER.emit("rule.eval", source, now, guardrail=self.name,
+                            args={"error": type(error).__name__})
+                self.host.supervisor.record_rule_crash(self, error, now)
+                continue
+            charge_check(ctx.ops)
+            TRACER.emit("rule.eval", source, now, guardrail=self.name,
+                        args={"result": result, "ops": ctx.ops})
+            if result is None:
+                self.inconclusive_count += 1
+                continue
+            if not result:
+                violation = Violation(self.name, source, now, payload)
+                self.violation_count += 1
+                if len(self.violations) < self.max_recorded_violations:
+                    self.violations.append(violation)
+                new_violations.append(violation)
+                TRACER.emit("monitor.check", "violation", now,
+                            guardrail=self.name, args={"rule": source})
+                TRACER.note_violation(self.name)
+                self._maybe_dispatch(violation)
+        cost = self.overhead.simulated_ns - cost_before
+        TRACER.note_check(self.name, cost)
+        TRACER.end(span, now + cost,
+                   args={"violations": len(new_violations)})
+        if crashes_before:
             if self.rule_crash_count + self.action_crash_count == crashes_before:
                 self.host.supervisor.record_check_success(self.name, now)
         return new_violations

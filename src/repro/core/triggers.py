@@ -54,18 +54,21 @@ class TimerTrigger(Trigger):
         self._event = host.engine.schedule_at(first + self.interval, self._tick)
 
     def _tick(self):
-        self._event = None
+        # Keep the fired event around: re-arming reuses the same object via
+        # the engine's allocation-free reschedule lane (periodic timers are
+        # the dominant source of heap churn in long runs).
+        event, self._event = self._event, None
         now = self._host.engine.now
         if self.stop is not None and now > self.stop:
             return
         self.tick_count += 1
         self._fire({"tick": self.tick_count, "tick_time": now})
-        if self._fire is None:
-            return  # disarmed from inside the check
+        if self._fire is None or self._event is not None:
+            return  # disarmed (or disarmed and re-armed) from inside the check
         next_time = now + self.interval
         if self.stop is not None and next_time > self.stop:
             return
-        self._event = self._host.engine.schedule_at(next_time, self._tick)
+        self._event = self._host.engine.reschedule(event, next_time)
 
     def disarm(self):
         if self._event is not None:
@@ -89,6 +92,7 @@ class FunctionTrigger(Trigger):
     def __init__(self, function_name):
         self.function_name = function_name
         self._probe = None
+        self._fire = None
         self.call_count = 0
 
     def arm(self, host, fire):
@@ -99,15 +103,21 @@ class FunctionTrigger(Trigger):
         self._probe = point.attach(self._on_call, name="guardrail:" + self.function_name)
 
     def _on_call(self, hook_name, now, payload):
+        fire = self._fire
+        if fire is None:
+            # A stale probe delivering through the hooks' deferred-removal
+            # path must not call into a disarmed monitor.
+            return
         self.call_count += 1
         enriched = dict(payload)
         enriched.setdefault("hook", hook_name)
-        self._fire(enriched)
+        fire(enriched)
 
     def disarm(self):
         if self._probe is not None:
             self._probe.detach()
             self._probe = None
+        self._fire = None
 
     @property
     def armed(self):

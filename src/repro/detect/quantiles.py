@@ -89,11 +89,12 @@ class P2Quantile:
             return self._heights[2]
         if not self._initial:
             return math.nan
+        from repro.detect.windows import _lerp
+
         ordered = sorted(self._initial)
         rank = self.q * (len(ordered) - 1)
         lo = int(math.floor(rank))
         hi = int(math.ceil(rank))
         if lo == hi:
             return ordered[lo]
-        frac = rank - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+        return _lerp(ordered[lo], ordered[hi], rank - lo)

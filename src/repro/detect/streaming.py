@@ -165,24 +165,30 @@ class RateCounter:
             raise ValueError("window must be positive, got {}".format(window))
         self.window = window
         self._events = collections.deque()  # (time, hit: bool)
+        self._hits = 0  # running numerator: rate() is O(evictions), not O(n)
 
     def observe(self, time, hit):
         """Record one event at ``time``; ``hit`` marks the numerator."""
-        self._events.append((time, bool(hit)))
+        hit = bool(hit)
+        self._events.append((time, hit))
+        if hit:
+            self._hits += 1
         self._evict(time)
 
     def _evict(self, now):
         cutoff = now - self.window
-        while self._events and self._events[0][0] <= cutoff:
-            self._events.popleft()
+        events = self._events
+        while events and events[0][0] <= cutoff:
+            _, hit = events.popleft()
+            if hit:
+                self._hits -= 1
 
     def rate(self, now):
         """Fraction of events in the window that were hits (0.0 when empty)."""
         self._evict(now)
         if not self._events:
             return 0.0
-        hits = sum(1 for _, h in self._events if h)
-        return hits / len(self._events)
+        return self._hits / len(self._events)
 
     def count(self, now):
         """Total events currently inside the window."""

@@ -12,9 +12,21 @@ class SlidingWindow:
             raise ValueError("size must be >= 1, got {}".format(size))
         self.size = size
         self._buf = collections.deque(maxlen=size)
+        # Running first/second moments so mean()/variance() are O(1) per
+        # call instead of re-summing the window (P1/P3 rules query them on
+        # every check).
+        self._sum = 0.0
+        self._sumsq = 0.0
 
     def update(self, value):
-        self._buf.append(value)
+        buf = self._buf
+        if len(buf) == self.size:
+            evicted = buf[0]
+            self._sum -= evicted
+            self._sumsq -= evicted * evicted
+        buf.append(value)
+        self._sum += value
+        self._sumsq += value * value
 
     def __len__(self):
         return len(self._buf)
@@ -29,7 +41,7 @@ class SlidingWindow:
     def mean(self):
         if not self._buf:
             return math.nan
-        return sum(self._buf) / len(self._buf)
+        return self._sum / len(self._buf)
 
     def min(self):
         return math.nan if not self._buf else min(self._buf)
@@ -41,8 +53,10 @@ class SlidingWindow:
         n = len(self._buf)
         if n < 2:
             return math.nan
-        mean = self.mean()
-        return sum((v - mean) ** 2 for v in self._buf) / (n - 1)
+        # Sample variance off the running moments; the max() clamps the
+        # small negative values floating-point cancellation can produce.
+        mean = self._sum / n
+        return max((self._sumsq - n * mean * mean) / (n - 1), 0.0)
 
     def quartiles(self):
         """(q25, q50, q75) of the current window, NaNs when empty."""
@@ -59,6 +73,8 @@ class SlidingWindow:
 
     def reset(self):
         self._buf.clear()
+        self._sum = 0.0
+        self._sumsq = 0.0
 
 
 class TumblingWindow:
@@ -103,4 +119,16 @@ def _percentile(ordered, q):
     if lo == hi:
         return float(ordered[lo])
     frac = rank - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+    return _lerp(ordered[lo], ordered[hi], frac)
+
+
+def _lerp(a, b, frac):
+    """Interpolate between ordered samples ``a <= b``, order-safely.
+
+    ``a*(1-frac) + b*frac`` is not monotone at the edge of the float grid
+    (denormals make q25 > q50 for identical samples).  The single-product
+    form is monotone in ``frac``; the clamp pins the result inside
+    ``[a, b]`` so percentiles of a sorted sample are always ordered.
+    """
+    value = a + frac * (b - a)
+    return a if value < a else (b if value > b else value)

@@ -5,13 +5,18 @@ events.  Events scheduled for the same timestamp fire in the order they were
 scheduled (a monotonically increasing sequence number breaks ties), which
 keeps whole simulations bit-for-bit reproducible.
 
+Fractional timestamps are rounded *up* to the next nanosecond: an event may
+fire later than requested by under a nanosecond, never earlier.  (Truncating
+instead would let ``schedule_at(now + 0.9)`` fire at ``now`` — in the past
+relative to the request.)
+
 The engine deliberately has no knowledge of kernels, policies, or guardrails;
 those are layered on top through callbacks, :mod:`repro.sim.hooks`, and
 :mod:`repro.sim.process`.
 """
 
 import heapq
-import itertools
+import math
 
 
 class SimulationError(RuntimeError):
@@ -22,23 +27,37 @@ class Event:
     """A scheduled callback.
 
     Events are handed back from :meth:`Engine.schedule` so callers can cancel
-    them.  Cancellation is lazy: the event stays in the heap but is skipped
-    when popped.
+    them.  Cancellation removes the event from the top of the heap when it is
+    cheap to do so; entries buried deeper stay until popped, but the engine's
+    live-event counter is updated immediately (``pending_events()`` is O(1)).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired",
+                 "_engine")
 
-    def __init__(self, time, seq, callback, args):
+    def __init__(self, time, seq, callback, args, engine=None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._engine = engine
 
     def cancel(self):
         """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._pending -= 1
+            # Eager removal: drop cancelled entries while they sit at the top
+            # of the heap, so cancel-heavy workloads (periodic triggers being
+            # re-armed, supervisor backoffs) don't accrete dead entries.
+            heap = engine._heap
+            while heap and heap[0].cancelled:
+                heapq.heappop(heap)
 
     def __lt__(self, other):
         return (self.time, self.seq) < (other.time, other.seq)
@@ -60,27 +79,39 @@ class Engine:
 
     def __init__(self, seed=0):
         self._heap = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._now = 0
         self._running = False
         self._stopped = False
         from repro.sim.rng import RngStreams
 
         self.rng = RngStreams(seed)
-        self._pending = 0
+        self._pending = 0  # live (not cancelled, not fired) events
 
     @property
     def now(self):
         """Current virtual time in integer nanoseconds."""
         return self._now
 
-    def schedule_at(self, time, callback, *args):
-        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+    def _coerce_time(self, time):
+        """Absolute time as an int ns, validated *after* coercion.
+
+        Rounds fractional times up so an event never fires earlier than the
+        requested instant.
+        """
+        if type(time) is not int:
+            time = math.ceil(time)
         if time < self._now:
             raise SimulationError(
                 "cannot schedule event at t={} before now={}".format(time, self._now)
             )
-        event = Event(int(time), next(self._seq), callback, args)
+        return time
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        time = self._coerce_time(time)
+        self._seq += 1
+        event = Event(time, self._seq, callback, args, self)
         heapq.heappush(self._heap, event)
         self._pending += 1
         return event
@@ -91,26 +122,49 @@ class Engine:
             raise SimulationError("negative delay: {}".format(delay))
         return self.schedule_at(self._now + int(delay), callback, *args)
 
+    def reschedule(self, event, time):
+        """Re-arm a fired event at a new absolute time, reusing the object.
+
+        This is the allocation-free lane for periodic work (timer triggers):
+        the event must have fired — it is out of the heap — and keeps its
+        callback and args.  Ordering is identical to a fresh
+        :meth:`schedule_at` (a new sequence number is drawn).
+        """
+        if not event.fired or event.cancelled:
+            raise SimulationError(
+                "can only reschedule a fired, uncancelled event, got {!r}"
+                .format(event)
+            )
+        time = self._coerce_time(time)
+        self._seq += 1
+        event.time = time
+        event.seq = self._seq
+        event.fired = False
+        heapq.heappush(self._heap, event)
+        self._pending += 1
+        return event
+
     def stop(self):
         """Stop the run loop after the current event finishes."""
         self._stopped = True
 
     def peek(self):
         """Timestamp of the next pending event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self._pending -= 1
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0].time
 
     def step(self):
         """Fire the next event.  Returns ``False`` when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            self._pending -= 1
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
             if event.cancelled:
                 continue
+            self._pending -= 1
             self._now = event.time
             event.fired = True
             event.callback(*event.args)
@@ -141,5 +195,5 @@ class Engine:
             self._now = int(until)
 
     def pending_events(self):
-        """Number of pending (not cancelled, not fired) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of pending (not cancelled, not fired) events.  O(1)."""
+        return self._pending

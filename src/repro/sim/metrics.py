@@ -68,16 +68,9 @@ class TimeSeries:
         """The ``q``-th percentile (0..100) of all values, NaN when empty."""
         if not self.values:
             return math.nan
-        ordered = sorted(self.values)
-        if len(ordered) == 1:
-            return float(ordered[0])
-        rank = (q / 100.0) * (len(ordered) - 1)
-        lo = int(math.floor(rank))
-        hi = int(math.ceil(rank))
-        if lo == hi:
-            return float(ordered[lo])
-        frac = rank - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+        from repro.detect.windows import _percentile
+
+        return _percentile(sorted(self.values), q)
 
 
 class MetricRecorder:

@@ -178,3 +178,124 @@ def test_min_with_none_arg_is_none():
 def test_not_of_none_is_none():
     value, _ = evaluate("!(LOAD(missing))")
     assert value is None
+
+
+class TestConstantFolding:
+    """Pure subexpressions fold at compile time, bit-identical in ops."""
+
+    FOLDABLE = [
+        "2 * 3 + 4",
+        "abs(0 - 5)",
+        "clamp(15, 0, 10)",
+        "!(true) || false",
+        "min(3, 1, 2) + max(1, 2)",
+        "10 / 4 - 1",
+    ]
+
+    def test_folded_programs_are_marked(self):
+        from repro.core.expr.compile import _fold_constant  # noqa: F401
+
+        program = compile_expression(parse_expr("1 + 2"))
+        assert "folded" in program.__qualname__
+
+    def test_bare_literals_are_not_wrapped(self):
+        program = compile_expression(parse_expr("5"))
+        assert "folded" not in program.__qualname__
+
+    @pytest.mark.parametrize("text", FOLDABLE)
+    def test_folding_preserves_value_and_ops(self, text):
+        from repro.core.expr.compile import _compile_node
+
+        expr = parse_expr(text)
+        folded = compile_expression(expr)
+        generic = _compile_node(expr)
+        ctx_folded, ctx_generic = EvalContext(None), EvalContext(None)
+        assert folded(ctx_folded) == generic(ctx_generic)
+        assert ctx_folded.ops == ctx_generic.ops
+
+    def test_expressions_with_runtime_inputs_do_not_fold(self):
+        for text in ("LOAD(x) + 1", "now * 2", "1 + LOAD(x.rate)"):
+            program = compile_expression(parse_expr(text))
+            assert "folded" not in program.__qualname__
+
+
+class TestFusedComparisons:
+    """LOAD-vs-constant thresholds fuse into one closure, semantics intact."""
+
+    SHAPES = [
+        "LOAD(x) < 500",
+        "LOAD(x) <= 500",
+        "500 > LOAD(x)",
+        "LOAD(x) >= 2",
+        "LOAD(x) == 3",
+        "3 != LOAD(x)",
+        "LOAD(x) < 1 + 2",
+        "10 / 4 >= LOAD(x)",
+    ]
+    VALUES = ["missing", 3, 3.0, 499, 501, float("nan"), "oops", True]
+
+    def _unfused(self, expr, monkeypatch):
+        from repro.core.expr import compile as C
+
+        monkeypatch.setattr(C, "_try_fuse_comparison", lambda e: None)
+        return C._compile_node(expr)
+
+    def test_fusion_engages_for_threshold_shapes(self):
+        for text in self.SHAPES:
+            program = compile_expression(parse_expr(text))
+            assert "fuse" in program.__qualname__, text
+
+    def test_fusion_skips_non_constant_sides(self):
+        for text in ("LOAD(x) < LOAD(y)", "LOAD(x) < now", "x < 5"):
+            program = compile_expression(parse_expr(text))
+            assert "fuse" not in program.__qualname__, text
+
+    @pytest.mark.parametrize("text", SHAPES)
+    @pytest.mark.parametrize("value", VALUES)
+    def test_fused_matches_generic_value_and_ops(self, text, value, monkeypatch):
+        expr = parse_expr(text)
+        fused = compile_expression(expr)
+        generic = self._unfused(expr, monkeypatch)
+        results = []
+        for program in (fused, generic):
+            store = FeatureStore()
+            if value != "missing":
+                store.save("x", value)
+            ctx = EvalContext(store)
+            results.append((program(ctx), ctx.ops))
+        assert results[0] == results[1], text
+
+    @pytest.mark.parametrize("text", SHAPES)
+    def test_fused_charge_split_matches_generic_on_load_fault(
+            self, text, monkeypatch):
+        # Fault injection wraps store.load per instance; a load that raises
+        # mid-rule must leave the overhead account exactly where the generic
+        # three-program chain would have left it.
+        class ExplodingStore:
+            def load(self, key):
+                raise RuntimeError("injected")
+
+        expr = parse_expr(text)
+        fused = compile_expression(expr)
+        generic = self._unfused(expr, monkeypatch)
+        charged = []
+        for program in (fused, generic):
+            ctx = EvalContext(ExplodingStore())
+            with pytest.raises(RuntimeError):
+                program(ctx)
+            charged.append(ctx.ops)
+        assert charged[0] == charged[1], text
+
+    def test_string_equality_still_works_fused(self):
+        store = FeatureStore()
+        store.save("x", "open")
+        value, _ = evaluate('LOAD(x) == "open"', store)
+        assert value is True
+        value, _ = evaluate('LOAD(x) != "closed"', store)
+        assert value is True
+
+    def test_ordered_compare_with_string_constant_is_missing_data(self):
+        store = FeatureStore()
+        store.save("x", 5)
+        value, _ = evaluate('LOAD(x) < "high"', store)
+        assert value is None

@@ -224,3 +224,30 @@ def test_double_subscribe_is_idempotent(store):
     store.save("a", 2)
     assert seen == ["a"]
     first()                     # and the other stays harmlessly idempotent
+
+
+def test_snapshot_drops_nan_raw_values(store):
+    store.save("ok", 1.5)
+    store.save("stale", math.nan)
+    snap = store.snapshot()
+    assert snap == {"ok": 1.5}
+    store.save("stale", 2.0)
+    assert store.snapshot() == {"ok": 1.5, "stale": 2.0}
+
+
+def test_unhashable_key_raises_store_error(store):
+    with pytest.raises(StoreError):
+        store.save(["not", "a", "key"], 1)
+    with pytest.raises(StoreError):
+        store.load({"also": "bad"})
+
+
+def test_validated_key_cache_still_rejects_bad_keys(store):
+    store.save("good.key", 1)
+    assert "good.key" in store._valid_keys
+    with pytest.raises(StoreError):
+        store.save("still bad", 1)
+    with pytest.raises(StoreError):
+        store.load("1starts_with_digit")
+    # The cached key keeps working after rejected lookups.
+    assert store.load("good.key") == 1

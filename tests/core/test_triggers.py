@@ -121,3 +121,77 @@ class TestFunctionTrigger:
         FunctionTrigger("h").arm(host, payloads.append)
         point.fire(hook="custom")
         assert payloads[0]["hook"] == "custom"
+
+
+class TestTriggerLifecycle:
+    """Arm/disarm/re-arm cycles must leave no stale state behind."""
+
+    def test_timer_full_cycle(self, host):
+        fired = []
+        trigger = TimerTrigger(interval=100)
+        trigger.arm(host, lambda p: fired.append(host.engine.now))
+        host.engine.run(until=250)
+        trigger.disarm()
+        assert not trigger.armed
+        assert host.engine.pending_events() == 0
+        trigger.arm(host, lambda p: fired.append(host.engine.now))
+        assert trigger.armed
+        host.engine.run(until=500)
+        assert fired == [100, 200, 350, 450]
+
+    def test_timer_disarm_and_rearm_inside_callback(self, host):
+        fired = []
+        trigger = TimerTrigger(interval=100)
+
+        def check(payload):
+            fired.append(host.engine.now)
+            if len(fired) == 1:
+                # A check that re-arms its own trigger must not end up
+                # double-scheduled by the tick's re-arm path.
+                trigger.disarm()
+                trigger.arm(host, check)
+
+        trigger.arm(host, check)
+        host.engine.run(until=400)
+        assert fired == [100, 200, 300, 400]
+
+    def test_timer_disarm_is_idempotent_and_clears_fire(self, host):
+        trigger = TimerTrigger(interval=100)
+        trigger.arm(host, lambda p: None)
+        trigger.disarm()
+        trigger.disarm()
+        assert trigger._fire is None
+        assert not trigger.armed
+
+    def test_function_full_cycle(self, host):
+        point = host.hooks.declare("h")
+        fired = []
+        trigger = FunctionTrigger("h")
+        trigger.arm(host, lambda p: fired.append(1))
+        point.fire()
+        trigger.disarm()
+        point.fire()
+        trigger.arm(host, lambda p: fired.append(2))
+        point.fire()
+        assert fired == [1, 2]
+        assert trigger.call_count == 2
+
+    def test_function_disarm_clears_fire_callback(self, host):
+        host.hooks.declare("h")
+        trigger = FunctionTrigger("h")
+        assert trigger._fire is None  # defined from birth, not first arm
+        trigger.arm(host, lambda p: None)
+        trigger.disarm()
+        assert trigger._fire is None
+
+    def test_function_stale_delivery_does_not_reach_disarmed_monitor(self, host):
+        host.hooks.declare("h")
+        fired = []
+        trigger = FunctionTrigger("h")
+        trigger.arm(host, fired.append)
+        trigger.disarm()
+        # A probe delivery racing disarm through the hooks' deferred-removal
+        # path must hit the _fire guard, not a stale monitor callback.
+        trigger._on_call("h", 0, {})
+        assert fired == []
+        assert trigger.call_count == 0

@@ -65,3 +65,38 @@ def test_constant_data():
     for _ in range(100):
         q.update(5.0)
     assert q.value == 5.0
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "normal", "exponential"])
+@pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.99])
+def test_randomized_accuracy_vs_exact_quantiles(distribution, q):
+    """P² stays close to the exact sorted-sample quantile on random streams."""
+    rng = np.random.default_rng(20260805)
+    if distribution == "uniform":
+        samples = rng.uniform(0.0, 100.0, size=5000)
+    elif distribution == "normal":
+        samples = rng.normal(50.0, 15.0, size=5000)
+    else:
+        samples = rng.exponential(10.0, size=5000)
+
+    estimator = P2Quantile(q)
+    for value in samples:
+        estimator.update(value)
+
+    exact = float(np.quantile(samples, q))
+    spread = float(np.quantile(samples, 0.95) - np.quantile(samples, 0.05))
+    # Five markers cannot be exact; require the estimate within a modest
+    # fraction of the distribution's bulk spread.
+    assert abs(estimator.value - exact) < 0.08 * spread
+    assert samples.min() <= estimator.value <= samples.max()
+
+
+def test_pre_marker_estimates_track_exact_small_sample_quantiles():
+    rng = np.random.default_rng(7)
+    for size in (1, 2, 3, 4):
+        values = rng.uniform(0.0, 1.0, size=size)
+        estimator = P2Quantile(0.5)
+        for v in values:
+            estimator.update(v)
+        assert estimator.value == pytest.approx(
+            float(np.quantile(values, 0.5)))

@@ -154,3 +154,22 @@ class TestRateCounter:
     def test_bad_window_raises(self):
         with pytest.raises(ValueError):
             RateCounter(0)
+
+    def test_rate_uses_running_hit_count(self):
+        counter = RateCounter(window=100)
+        for t in range(0, 1000, 10):
+            counter.observe(t, t % 30 == 0)
+            expected_hits = sum(1 for tt, hit in counter._events if hit)
+            assert counter._hits == expected_hits
+            assert counter.rate(t) == pytest.approx(
+                expected_hits / len(counter._events))
+
+    def test_eviction_keeps_hit_count_exact(self):
+        counter = RateCounter(window=10)
+        counter.observe(0, True)
+        counter.observe(5, False)
+        counter.observe(20, True)  # evicts both earlier events
+        assert counter._hits == 1
+        assert counter.rate(20) == 1.0
+        assert counter.rate(40) == 0.0
+        assert counter._hits == 0

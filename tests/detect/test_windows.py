@@ -86,3 +86,65 @@ class TestTumblingWindow:
         w.close()
         w.update(2)
         assert w.close()["mean"] == 2
+
+
+class TestRunningMoments:
+    """mean()/variance() run off maintained sums, not per-call re-summing."""
+
+    def test_matches_recomputed_stats_over_long_stream(self):
+        window = SlidingWindow(64)
+        value = 7.0
+        for i in range(1000):
+            value = (value * 1103515245 + 12345) % 1021 / 10.0
+            window.update(value)
+            current = window.values()
+            assert window.mean() == pytest.approx(sum(current) / len(current))
+        n = len(current)
+        mean = sum(current) / n
+        exact_var = sum((v - mean) ** 2 for v in current) / (n - 1)
+        assert window.variance() == pytest.approx(exact_var)
+
+    def test_variance_never_negative_under_cancellation(self):
+        # A large-offset constant stream is the classic catastrophic-
+        # cancellation case for sum-of-squares variance.
+        window = SlidingWindow(8)
+        for _ in range(32):
+            window.update(1e9 + 0.1)
+        assert window.variance() >= 0.0
+
+    def test_reset_clears_running_sums(self):
+        window = SlidingWindow(4)
+        for v in (10.0, 20.0, 30.0):
+            window.update(v)
+        window.reset()
+        window.update(2.0)
+        assert window.mean() == 2.0
+        window.update(4.0)
+        assert window.variance() == pytest.approx(2.0)
+
+    def test_eviction_updates_moments(self):
+        window = SlidingWindow(2)
+        for v in (100.0, 1.0, 3.0):
+            window.update(v)
+        assert window.mean() == 2.0
+        assert window.variance() == pytest.approx(2.0)
+
+
+def test_quartiles_are_ordered_for_denormal_samples():
+    # Regression: a*(1-frac) + b*frac is non-monotone at the edge of the
+    # float grid — two 5e-324 samples produced q25 > q50.
+    window = SlidingWindow(2)
+    window.update(5e-324)
+    window.update(5e-324)
+    q25, q50, q75 = window.quartiles()
+    assert q25 <= q50 <= q75
+    assert q25 == q50 == q75 == 5e-324
+
+
+def test_percentile_interpolation_stays_inside_the_samples():
+    from repro.detect.windows import _lerp
+
+    assert _lerp(1.0, 2.0, 0.5) == 1.5
+    assert _lerp(5e-324, 5e-324, 0.25) == 5e-324
+    assert _lerp(-2.0, -1.0, 0.0) == -2.0
+    assert _lerp(-2.0, -1.0, 1.0) == -1.0

@@ -173,3 +173,100 @@ def test_event_repr_shows_state(engine):
 def test_float_times_are_truncated_to_int(engine):
     event = engine.schedule(10.7, lambda: None)
     assert event.time == 10
+
+
+def test_cancel_decrements_pending_immediately(engine):
+    a = engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    engine.schedule(3, lambda: None)
+    a.cancel()
+    # The live-event counter is maintained at cancel time, not lazily at
+    # pop time: pending_events() is O(1) and never over-counts.
+    assert engine.pending_events() == 2
+    assert engine._pending == 2
+
+
+def test_cancel_then_peek_keeps_pending_consistent(engine):
+    fired = []
+    a = engine.schedule(5, fired.append, "a")
+    engine.schedule(7, fired.append, "b")
+    engine.schedule(9, fired.append, "c")
+    a.cancel()
+    assert engine.pending_events() == 2
+    # peek() pops the cancelled head; the count must not be decremented a
+    # second time for an event cancel() already accounted for.
+    assert engine.peek() == 7
+    assert engine.pending_events() == 2
+    engine.run()
+    assert fired == ["b", "c"]
+    assert engine.pending_events() == 0
+
+
+def test_cancel_removes_dead_heap_head_eagerly(engine):
+    a = engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    a.cancel()
+    assert len(engine._heap) == 1
+
+
+def test_cancel_after_fire_is_a_noop(engine):
+    event = engine.schedule(1, lambda: None)
+    engine.run()
+    event.cancel()
+    assert "fired" in repr(event)
+    assert engine.pending_events() == 0
+
+
+def test_schedule_at_fractional_time_rounds_up(engine):
+    # 0.9 must not truncate to 0: the event would fire before the requested
+    # instant.  Fractional absolute times round up to the next nanosecond.
+    event = engine.schedule_at(0.9, lambda: None)
+    assert event.time == 1
+    fired = []
+    engine.schedule_at(10.2, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [11]
+
+
+def test_schedule_at_fraction_of_now_is_coerced_before_validation(engine):
+    engine.schedule(10, lambda: None)
+    engine.run()
+    assert engine.now == 10
+    # 9.5 rounds up to exactly now — valid; pre-coercion validation would
+    # have rejected it as "in the past".
+    event = engine.schedule_at(9.5, lambda: None)
+    assert event.time == 10
+    with pytest.raises(SimulationError):
+        engine.schedule_at(8.9, lambda: None)
+
+
+def test_reschedule_reuses_the_event_object(engine):
+    fired = []
+    event = engine.schedule(5, lambda: fired.append(engine.now))
+    engine.run()
+    again = engine.reschedule(event, 12)
+    assert again is event
+    assert not event.fired
+    engine.run()
+    assert fired == [5, 12]
+
+
+def test_reschedule_orders_like_a_fresh_schedule(engine):
+    order = []
+    event = engine.schedule(1, order.append, "first")
+    engine.run()
+    engine.schedule_at(10, order.append, "a")
+    engine.reschedule(event, 10)
+    engine.schedule_at(10, order.append, "b")
+    event.args = ("recycled",)
+    engine.run()
+    assert order == ["first", "a", "recycled", "b"]
+
+
+def test_reschedule_rejects_pending_and_cancelled_events(engine):
+    pending = engine.schedule(5, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.reschedule(pending, 10)
+    pending.cancel()
+    with pytest.raises(SimulationError):
+        engine.reschedule(pending, 10)

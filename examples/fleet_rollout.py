@@ -1,0 +1,68 @@
+"""Staged guardrail rollout across a simulated fleet — and its rollback.
+
+Listing 2 at fleet scale: every host runs the Figure 2 storage stack, and
+the control plane moves the ``low-false-submit`` guardrail from a
+report-only v1 to an enforcing v2 through a canary -> 25% -> 100% plan
+with health gates between stages.
+
+Two runs, same seed:
+
+1. a clean fleet — every gate passes and v2 lands on all hosts;
+2. a fleet whose canary host serves corrupted telemetry — the guardrail's
+   LOAD reads NaN, every check comes back *inconclusive* (missing data is
+   not a violation), the canary gate trips on the inconclusive-rate axis,
+   and the control plane rolls the cohort back to v1 through
+   ``GuardrailManager.update()``.
+
+Run:  python examples/fleet_rollout.py
+"""
+
+from repro.bench.report import format_table
+from repro.fleet.scenario import run_fleet_rollout
+
+HOSTS = 4
+SEED = 42
+
+
+def stage_table(report, title):
+    rows = []
+    for entry in report["stages"]:
+        gate = entry["gate"]
+        rows.append([
+            entry["stage"]["label"],
+            entry["stage"]["target_hosts"],
+            "PASS" if gate["passed"] else "TRIP",
+            "{:.3f}".format(gate["measurements"]["violation_rate"]),
+            "{:.3f}".format(gate["measurements"]["inconclusive_rate"]),
+            "; ".join(gate["reasons"]) or "-",
+        ])
+    return format_table(
+        ["stage", "cohort", "gate", "viol/host-s", "inconcl/host-s",
+         "reasons"],
+        rows, title=title)
+
+
+def main():
+    print("rolling out v2 to a clean {}-host fleet...\n".format(HOSTS))
+    clean = run_fleet_rollout(hosts=HOSTS, seed=SEED, quick=True)
+    print(stage_table(clean, "clean rollout"))
+    print("\nstatus: {} — v2 on all {} host(s)\n".format(
+        clean["status"], clean["stages"][-1]["stage"]["target_hosts"]))
+
+    print("same rollout with a corrupt-telemetry canary host...\n")
+    faulted = run_fleet_rollout(hosts=HOSTS, seed=SEED, fault_hosts=1,
+                                quick=True)
+    print(stage_table(faulted, "faulted rollout"))
+    print()
+    print(format_table(
+        ["t (s)", "event"],
+        [[event["time_s"], event["event"]] for event in faulted["timeline"]],
+        title="control-plane timeline"))
+    rollback = faulted["stages"][-1]["rollback"]
+    print("\nstatus: {} at stage '{}' — {} host(s) rolled back to v1".format(
+        faulted["status"], faulted["rolled_back_at_stage"],
+        rollback["hosts"]))
+
+
+if __name__ == "__main__":
+    main()

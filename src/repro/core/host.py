@@ -6,6 +6,8 @@ simulated kernel (:class:`repro.kernel.base.Kernel`) builds one of these;
 unit tests can build a bare host without any kernel subsystems.
 """
 
+import collections
+
 from repro.core.featurestore import FeatureStore
 from repro.core.functions import FunctionTable
 from repro.faults.supervisor import MonitorSupervisor
@@ -19,14 +21,30 @@ class ViolationReporter:
 
     Bounded: keeps at most ``capacity`` full reports (oldest dropped) so a
     flapping guardrail cannot exhaust memory — the in-kernel analogue would
-    be a fixed ring buffer.
+    be a fixed ring buffer.  Backed by ``deque(maxlen=capacity)`` so
+    at-capacity eviction is O(1); a plain list's ``pop(0)`` shifts all
+    10k entries on every report once the buffer fills, which is a real cost
+    on the hot report path.
     """
 
     def __init__(self, capacity=10_000):
-        self.capacity = capacity
-        self.reports = []
-        self.notes = []
+        self._capacity = capacity
+        self.reports = collections.deque(maxlen=capacity)
+        self.notes = collections.deque(maxlen=capacity)
         self.dropped = 0
+
+    @property
+    def capacity(self):
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value):
+        # Re-bound both rings; a shrink evicts oldest-first and counts them.
+        self.dropped += max(0, len(self.reports) - value)
+        self.dropped += max(0, len(self.notes) - value)
+        self._capacity = value
+        self.reports = collections.deque(self.reports, maxlen=value)
+        self.notes = collections.deque(self.notes, maxlen=value)
 
     def report(self, guardrail, rule, time, payload, store_snapshot, extras):
         record = {
@@ -37,14 +55,12 @@ class ViolationReporter:
             "store": store_snapshot,
             "extras": extras,
         }
-        if len(self.reports) >= self.capacity:
-            self.reports.pop(0)
+        if len(self.reports) == self.capacity:
             self.dropped += 1
         self.reports.append(record)
 
     def note(self, kind, guardrail, time, detail=""):
-        if len(self.notes) >= self.capacity:
-            self.notes.pop(0)
+        if len(self.notes) == self.capacity:
             self.dropped += 1
         self.notes.append({
             "kind": kind,

@@ -71,6 +71,52 @@ class Histogram:
             return 0.0
         return (self.underflow + self.overflow) / self.total
 
+    def quantile(self, q):
+        """Approximate ``q`` quantile (0 <= q <= 1) from the bin counts.
+
+        Linear interpolation inside the containing bin; mass in the
+        underflow/overflow bins maps to the range edges (the histogram does
+        not know how far out it lies).  NaN when empty.  Error is bounded by
+        one bin width, which is what makes merged fleet-wide quantiles
+        trustworthy: counts merge exactly, so the merged estimate equals the
+        single-histogram estimate of the concatenated stream.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1], got {}".format(q))
+        if self.total == 0:
+            return math.nan
+        target = q * self.total
+        if target <= self.underflow:
+            return self.lo
+        acc = self.underflow
+        for index, count in enumerate(self.counts):
+            if count and acc + count >= target:
+                frac = (target - acc) / count
+                return self.lo + self._width * (index + frac)
+            acc += count
+        return self.hi
+
+    def merge(self, other):
+        """Fold ``other``'s counts into this histogram (exact).
+
+        Both histograms must share bounds and bin count; mismatched sketches
+        raise ``ValueError`` rather than silently blending incomparable
+        distributions.  Returns ``self`` for chaining.
+        """
+        if not self.compatible_with(other):
+            raise ValueError(
+                "cannot merge incompatible histograms: "
+                "[{}, {}]x{} vs [{}, {}]x{}".format(
+                    self.lo, self.hi, self.bins,
+                    getattr(other, "lo", "?"), getattr(other, "hi", "?"),
+                    getattr(other, "bins", "?")))
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.total += other.total
+        return self
+
     def compatible_with(self, other):
         return (
             isinstance(other, Histogram)

@@ -82,6 +82,96 @@ class P2Quantile:
         j = i + int(d)
         return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
 
+    def merge(self, other):
+        """Fold another estimator of the *same* quantile into this one.
+
+        P² keeps five markers, not samples, so the merge is approximate:
+        the extreme markers (observed min/max) merge exactly, the middle
+        markers combine as count-weighted averages of the two sketches'
+        height estimates, and marker positions add (each side's position is
+        its local rank estimate for that quantile level, and ranks are
+        additive under concatenation).  The result is tolerance-bounded
+        against a single sketch fed the concatenated stream — good enough
+        for fleet-wide tail-latency gates, not for exact accounting (use
+        :meth:`~repro.detect.histogram.Histogram.merge` when exactness
+        matters).  Returns ``self`` for chaining.
+        """
+        if not isinstance(other, P2Quantile) or other.q != self.q:
+            raise ValueError(
+                "cannot merge P2Quantile(q={}) with {!r}".format(
+                    self.q, other))
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._initial = list(other._initial)
+            self._heights = None if other._heights is None else list(other._heights)
+            self._positions = (None if other._positions is None
+                               else list(other._positions))
+            self._desired = None if other._desired is None else list(other._desired)
+            self._increments = (None if other._increments is None
+                                else list(other._increments))
+            return self
+        if self._heights is None and other._heights is None:
+            # Both still buffering: replay the pooled samples in sorted
+            # order (deterministic regardless of merge order).
+            values = sorted(self._initial + other._initial)
+            self.__init__(self.q)
+            for value in values:
+                self.update(value)
+            return self
+        if self._heights is None or other._heights is None:
+            # One side initialized: adopt it, then replay the buffered
+            # samples of the other side through the normal update path.
+            small = self._initial if self._heights is None else other._initial
+            big = other if self._heights is None else self
+            state = (big.count, list(big._heights), list(big._positions),
+                     list(big._desired), list(big._increments))
+            self.count, self._heights, self._positions, self._desired, \
+                self._increments = state
+            self._initial = []
+            for value in sorted(small):
+                self.update(value)
+            return self
+        c1, c2 = self.count, other.count
+        total = c1 + c2
+        h1, h2 = self._heights, other._heights
+        # Extremes are exact; interior markers are count-weighted blends of
+        # the two local estimates of the same quantile level.
+        heights = [
+            min(h1[0], h2[0]),
+            (h1[1] * c1 + h2[1] * c2) / total,
+            (h1[2] * c1 + h2[2] * c2) / total,
+            (h1[3] * c1 + h2[3] * c2) / total,
+            max(h1[4], h2[4]),
+        ]
+        heights.sort()  # enforce marker monotonicity after blending
+        positions = [a + b for a, b in zip(self._positions, other._positions)]
+        positions[0] = 1.0
+        positions[4] = float(total)
+        for i in range(1, 5):  # strictly increasing, inside [1, total]
+            if positions[i] <= positions[i - 1]:
+                positions[i] = positions[i - 1] + 1.0
+        for i in range(3, -1, -1):
+            if positions[i] >= positions[i + 1]:
+                positions[i] = positions[i + 1] - 1.0
+        q = self.q
+        self.count = total
+        self._heights = heights
+        self._positions = positions
+        # Canonical desired positions at n samples (the running form adds
+        # `increments` once per update; closed form = initial + (n-5)*inc).
+        extra = total - 5
+        self._desired = [
+            1.0,
+            1.0 + 2.0 * q + extra * (q / 2.0),
+            1.0 + 4.0 * q + extra * q,
+            3.0 + 2.0 * q + extra * ((1.0 + q) / 2.0),
+            float(total),
+        ]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        return self
+
     @property
     def value(self):
         """Current quantile estimate; NaN before five samples arrive."""

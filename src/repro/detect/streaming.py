@@ -114,6 +114,105 @@ class MeanVariance:
         self._m2 = 0.0
 
 
+class SummaryDigest:
+    """Mergeable count/mean/variance/min/max summary of a sample set.
+
+    The cross-host form of a :class:`MeanVariance`: hosts summarize their
+    local samples (a :class:`~repro.detect.windows.SlidingWindow`, a raw
+    stream), ship the five-number digest, and the aggregator merges digests
+    instead of raw samples.  The mean/variance merge is the same parallel
+    Welford combination :meth:`MeanVariance.merge` uses; min/max merge
+    exactly.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @classmethod
+    def from_values(cls, values):
+        digest = cls()
+        for value in values:
+            digest.update(value)
+        return digest
+
+    def update(self, value):
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        return self._mean
+
+    @property
+    def mean(self):
+        return math.nan if self.count == 0 else self._mean
+
+    @property
+    def variance(self):
+        """Sample variance (n-1 denominator); NaN until two samples."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def min(self):
+        return math.nan if self.count == 0 else self._min
+
+    @property
+    def max(self):
+        return math.nan if self.count == 0 else self._max
+
+    def merge(self, other):
+        """Combine with another digest (parallel Welford merge + min/max)."""
+        if not isinstance(other, SummaryDigest):
+            raise ValueError(
+                "cannot merge SummaryDigest with {}".format(
+                    type(other).__name__))
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        return self
+
+    def to_dict(self):
+        """JSON-friendly form (NaN-free: empty digests report nulls)."""
+        if self.count == 0:
+            return {"count": 0, "mean": None, "variance": None,
+                    "min": None, "max": None}
+        variance = self.variance
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "variance": None if math.isnan(variance) else variance,
+            "min": self._min,
+            "max": self._max,
+        }
+
+
 class WindowedMean:
     """Mean of samples observed within a trailing *time* window.
 
@@ -182,6 +281,42 @@ class RateCounter:
             _, hit = events.popleft()
             if hit:
                 self._hits -= 1
+
+    def merge(self, other):
+        """Interleave ``other``'s events into this counter (exact).
+
+        Windows must match — merging counters with different trailing
+        windows would silently change eviction semantics, so that raises
+        ``ValueError``.  Both event logs are time-ordered, so the merge is a
+        single two-pointer pass; ties take this counter's event first, which
+        keeps the merge deterministic regardless of call order per side.
+        Returns ``self`` for chaining.
+        """
+        if not isinstance(other, RateCounter) or other.window != self.window:
+            raise ValueError(
+                "cannot merge RateCounter(window={}) with {!r}".format(
+                    self.window, other))
+        if not other._events:
+            return self
+        merged = collections.deque()
+        left, right = self._events, other._events
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i][0] <= right[j][0]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+        while i < len(left):
+            merged.append(left[i])
+            i += 1
+        while j < len(right):
+            merged.append(right[j])
+            j += 1
+        self._events = merged
+        self._hits += other._hits
+        return self
 
     def rate(self, now):
         """Fraction of events in the window that were hits (0.0 when empty)."""

@@ -71,6 +71,18 @@ class SlidingWindow:
             return 0.0
         return sum(1 for v in self._buf if predicate(v)) / len(self._buf)
 
+    def summary(self):
+        """Mergeable :class:`~repro.detect.streaming.SummaryDigest` of the
+        current window contents.
+
+        This is how windows cross host boundaries: raw samples stay local,
+        the five-number digest ships, and digests from many hosts merge into
+        one fleet-wide summary.
+        """
+        from repro.detect.streaming import SummaryDigest
+
+        return SummaryDigest.from_values(self._buf)
+
     def reset(self):
         self._buf.clear()
         self._sum = 0.0

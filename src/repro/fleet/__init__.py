@@ -1,0 +1,49 @@
+"""repro.fleet — sharded multi-host fleet simulation + staged rollout.
+
+The paper's §3.3 deploys guardrails *incrementally*; this package scales
+that idea from one simulated kernel to a fleet of them:
+
+- :mod:`repro.fleet.worker` runs N independent simulated hosts (each with
+  its own engine, feature store, monitor host, and kernel workload) across
+  a process pool, stepped in lockstep rounds;
+- :mod:`repro.fleet.aggregate` defines the per-round **state digest** each
+  host emits — counters plus mergeable metric sketches — and the fleet-wide
+  merge, so central properties (violation rates, latency quantiles) are
+  checked without shipping raw samples;
+- :mod:`repro.fleet.rollout` is the control plane: versioned guardrail
+  specs, staged plans (``canary:1 -> 25% -> 100%``), per-stage health gates
+  against the pre-rollout baseline, and automatic halt + rollback through
+  ``GuardrailManager.update()``;
+- :mod:`repro.fleet.scenario` assembles the canonical experiment behind
+  ``grctl fleet``: the Listing-2 false-submit guardrail rolling out across
+  a storage fleet, with an optional fault-injected cohort that trips the
+  canary gate.
+"""
+
+from repro.fleet.aggregate import FleetDigest, HostDigest
+from repro.fleet.rollout import (
+    GateConfig,
+    GuardrailVersion,
+    RolloutController,
+    RolloutPlan,
+    Stage,
+    parse_stages,
+)
+from repro.fleet.scenario import run_fleet_rollout
+from repro.fleet.worker import FleetError, FleetRunner, HostSpec, SimulatedHost
+
+__all__ = [
+    "FleetDigest",
+    "FleetError",
+    "FleetRunner",
+    "GateConfig",
+    "GuardrailVersion",
+    "HostDigest",
+    "HostSpec",
+    "RolloutController",
+    "RolloutPlan",
+    "SimulatedHost",
+    "Stage",
+    "parse_stages",
+    "run_fleet_rollout",
+]

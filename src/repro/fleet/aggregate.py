@@ -1,0 +1,240 @@
+"""Mergeable cross-host statistics: the fleet digest schema.
+
+Hosts never ship raw samples.  Each round every host emits one
+:class:`HostDigest` — flat counters (violations, actions, completed I/Os)
+plus bounded metric *sketches* (a fixed-bin latency histogram, a Welford
+summary, a P² tail estimator, and a false-submit :class:`RateCounter`).
+Counters add; sketches ``merge()`` (exact for histogram/rate-counter
+events, tolerance-bounded for P²); so the control plane folds any set of
+digests — across hosts, across rounds, across cohorts — into one
+:class:`FleetDigest` and checks fleet-wide properties centrally.
+
+Digest cost is what makes fleet scale work: one digest is a few hundred
+bytes of counters plus ``O(bins)`` histogram state, independent of how
+many I/Os the round served.
+"""
+
+import math
+
+from repro.detect.histogram import Histogram
+from repro.detect.quantiles import P2Quantile
+from repro.detect.streaming import RateCounter, SummaryDigest
+from repro.sim.units import SECOND
+
+#: Latency histogram bounds, microseconds.  Wide enough that post-drift GC
+#: tails land in real bins, not just overflow; 50 bins keeps the per-digest
+#: payload ~400 bytes.
+LATENCY_LO_US = 0.0
+LATENCY_HI_US = 5000.0
+LATENCY_BINS = 50
+
+#: The tail quantile every digest tracks with a P² sketch.
+TAIL_Q = 0.95
+
+
+def latency_histogram():
+    """A fresh latency sketch with the fleet-standard bounds."""
+    return Histogram(LATENCY_LO_US, LATENCY_HI_US, LATENCY_BINS)
+
+
+class HostDigest:
+    """One host's state digest for one round.
+
+    ``violations``/``actions``/``checks`` are per-round deltas of the
+    host's guardrail-manager totals; the sketches cover only the round's
+    samples, so digests from different rounds merge without double
+    counting.
+    """
+
+    __slots__ = ("host_id", "round_index", "time_ns", "version",
+                 "checks", "violations", "actions", "inconclusive",
+                 "completed_ios", "false_submits", "model_submits",
+                 "latency", "latency_summary", "latency_tail",
+                 "false_submit_rate")
+
+    def __init__(self, host_id, round_index, time_ns, version,
+                 window_ns=1 * SECOND):
+        self.host_id = host_id
+        self.round_index = round_index
+        self.time_ns = time_ns
+        self.version = version
+        self.checks = 0
+        self.violations = 0
+        self.actions = 0
+        self.inconclusive = 0
+        self.completed_ios = 0
+        self.false_submits = 0
+        self.model_submits = 0
+        self.latency = latency_histogram()
+        self.latency_summary = SummaryDigest()
+        self.latency_tail = P2Quantile(TAIL_Q)
+        self.false_submit_rate = RateCounter(window_ns)
+
+    def observe_io(self, time_ns, latency_us, false_submit, predicted_fast):
+        """Fold one completed I/O into the round's sketches."""
+        self.completed_ios += 1
+        self.latency.update(latency_us)
+        self.latency_summary.update(latency_us)
+        self.latency_tail.update(latency_us)
+        if predicted_fast:
+            self.model_submits += 1
+            self.false_submit_rate.observe(time_ns, false_submit)
+            if false_submit:
+                self.false_submits += 1
+
+    def to_dict(self):
+        """JSON-friendly, deterministic summary (sketch *values*, not state)."""
+        return {
+            "host_id": self.host_id,
+            "round": self.round_index,
+            "time_s": self.time_ns / SECOND,
+            "version": self.version,
+            "checks": self.checks,
+            "violations": self.violations,
+            "actions": self.actions,
+            "inconclusive": self.inconclusive,
+            "completed_ios": self.completed_ios,
+            "false_submits": self.false_submits,
+            "model_submits": self.model_submits,
+            "latency": self.latency_summary.to_dict(),
+            "latency_p95_us": _none_if_nan(self.latency.quantile(TAIL_Q)),
+        }
+
+
+class FleetDigest:
+    """The merge of any set of host digests.
+
+    Tracks which (host, round) cells were folded in so rate denominators
+    (host-seconds) stay correct whether digests arrive per host, per round,
+    or already partially merged.
+    """
+
+    def __init__(self, round_ns=1 * SECOND):
+        self.round_ns = round_ns
+        self.hosts = set()
+        self.host_rounds = 0
+        self.checks = 0
+        self.violations = 0
+        self.actions = 0
+        self.inconclusive = 0
+        self.completed_ios = 0
+        self.false_submits = 0
+        self.model_submits = 0
+        self.latency = latency_histogram()
+        self.latency_summary = SummaryDigest()
+        self.latency_tail = P2Quantile(TAIL_Q)
+        self.false_submit_rate = RateCounter(round_ns)
+        self.last_time_ns = 0
+
+    def merge_host(self, digest):
+        """Fold one :class:`HostDigest` in; returns ``self``."""
+        self.hosts.add(digest.host_id)
+        self.host_rounds += 1
+        self.checks += digest.checks
+        self.violations += digest.violations
+        self.actions += digest.actions
+        self.inconclusive += digest.inconclusive
+        self.completed_ios += digest.completed_ios
+        self.false_submits += digest.false_submits
+        self.model_submits += digest.model_submits
+        self.latency.merge(digest.latency)
+        self.latency_summary.merge(digest.latency_summary)
+        self.latency_tail.merge(digest.latency_tail)
+        self.false_submit_rate.merge(digest.false_submit_rate)
+        if digest.time_ns > self.last_time_ns:
+            self.last_time_ns = digest.time_ns
+        return self
+
+    def merge(self, other):
+        """Fold another :class:`FleetDigest` in; returns ``self``."""
+        if other.round_ns != self.round_ns:
+            raise ValueError(
+                "cannot merge FleetDigest(round_ns={}) with round_ns={}"
+                .format(self.round_ns, other.round_ns))
+        self.hosts |= other.hosts
+        self.host_rounds += other.host_rounds
+        self.checks += other.checks
+        self.violations += other.violations
+        self.actions += other.actions
+        self.inconclusive += other.inconclusive
+        self.completed_ios += other.completed_ios
+        self.false_submits += other.false_submits
+        self.model_submits += other.model_submits
+        self.latency.merge(other.latency)
+        self.latency_summary.merge(other.latency_summary)
+        self.latency_tail.merge(other.latency_tail)
+        self.false_submit_rate.merge(other.false_submit_rate)
+        if other.last_time_ns > self.last_time_ns:
+            self.last_time_ns = other.last_time_ns
+        return self
+
+    # -- fleet-wide properties --------------------------------------------
+
+    def host_seconds(self):
+        return self.host_rounds * (self.round_ns / SECOND)
+
+    def violation_rate(self):
+        """Guardrail violations per host-second (0.0 when empty)."""
+        denominator = self.host_seconds()
+        if denominator <= 0:
+            return 0.0
+        return self.violations / denominator
+
+    def inconclusive_rate(self):
+        """Inconclusive checks per host-second (0.0 when empty).
+
+        NaN/missing signals read as inconclusive rather than violating, so
+        this is the "guardrail has gone blind" health axis.
+        """
+        denominator = self.host_seconds()
+        if denominator <= 0:
+            return 0.0
+        return self.inconclusive / denominator
+
+    def p95_us(self):
+        """Fleet-wide 95th-percentile latency from the merged histogram."""
+        return self.latency.quantile(TAIL_Q)
+
+    def mean_latency_us(self):
+        return self.latency_summary.mean
+
+    def false_submit_fraction(self):
+        if self.model_submits == 0:
+            return 0.0
+        return self.false_submits / self.model_submits
+
+    def to_dict(self):
+        return {
+            "hosts": len(self.hosts),
+            "host_rounds": self.host_rounds,
+            "checks": self.checks,
+            "violations": self.violations,
+            "actions": self.actions,
+            "inconclusive": self.inconclusive,
+            "completed_ios": self.completed_ios,
+            "false_submits": self.false_submits,
+            "model_submits": self.model_submits,
+            "violation_rate": self.violation_rate(),
+            "inconclusive_rate": self.inconclusive_rate(),
+            "false_submit_fraction": self.false_submit_fraction(),
+            "latency": self.latency_summary.to_dict(),
+            "latency_p95_us": _none_if_nan(self.p95_us()),
+            "latency_p95_p2_us": _none_if_nan(self.latency_tail.value),
+        }
+
+
+def _none_if_nan(value):
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+__all__ = [
+    "FleetDigest",
+    "HostDigest",
+    "LATENCY_BINS",
+    "LATENCY_HI_US",
+    "LATENCY_LO_US",
+    "TAIL_Q",
+    "latency_histogram",
+]

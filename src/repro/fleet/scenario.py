@@ -1,0 +1,141 @@
+"""The canonical fleet experiment: Listing 2 rolled out across a fleet.
+
+Every host runs the Figure-2 storage stack (replicated pre-drift SSD
+volume, shortest-queue stand-in policy that predicts "fast" on every
+submit, Poisson read workload).  The rollout moves the fleet's
+``low-false-submit`` guardrail from a report-only v1 to the enforcing v2
+below through a staged plan with health gates.
+
+Thresholds follow the §3.3 "thresholds require system knowledge" story:
+the stand-in policy false-submits at the volume's stationary slow fraction
+(~9% pre-drift), so v2 enforces at 0.2 — quiet on a healthy host, loud on
+a broken one.  The faulted cohort carries a ``corrupt@false_submit_rate``
+fault: the signal reads as NaN, which the rule runtime treats as *missing
+data*, so every check on a faulted host comes back inconclusive instead
+of violating.  That is exactly the hazard the gate's inconclusive-rate
+axis exists for — a guardrail that cannot evaluate on the canary cohort
+(~1 inconclusive/host-second against a ~0 baseline) is not safe to
+enforce, so the rollout halts and rolls back.
+"""
+
+from repro.fleet.rollout import (
+    GateConfig,
+    GuardrailVersion,
+    RolloutController,
+    RolloutPlan,
+    parse_stages,
+)
+from repro.fleet.worker import FleetRunner, HostSpec
+from repro.sim.units import SECOND
+
+GUARDRAIL_NAME = "low-false-submit"
+
+#: v1 — observation mode: a loose bound, report-only.
+FLEET_SPEC_V1 = """
+guardrail low-false-submit {
+  // v1: observe-only.  The bound is loose; violations just file reports.
+  trigger: { TIMER(start_time, 1e9) },
+  rule: { LOAD(false_submit_rate) <= 0.5 },
+  action: { REPORT() }
+}
+"""
+
+#: v2 — enforcement: the Listing-2 action at the fleet threshold.
+FLEET_SPEC_V2 = """
+guardrail low-false-submit {
+  // v2: enforce.  0.2 clears the ~9% stationary false-submit floor of the
+  // stand-in policy but catches a corrupted/broken signal immediately.
+  trigger: { TIMER(start_time, 1e9) },
+  rule: { LOAD(false_submit_rate) <= 0.2 },
+  action: {
+    SAVE(ml_enabled, false),
+    REPORT()
+  }
+}
+"""
+
+
+def fleet_versions():
+    """The (old, new) guardrail versions the canonical rollout moves between."""
+    return (GuardrailVersion(GUARDRAIL_NAME, 1, FLEET_SPEC_V1),
+            GuardrailVersion(GUARDRAIL_NAME, 2, FLEET_SPEC_V2))
+
+
+def make_fleet_specs(hosts, seed, rate_ios, fault_hosts=0, fault_start_s=0):
+    """Deterministic per-host specs; hosts ``0..fault_hosts-1`` are faulted.
+
+    Stage cohorts fill from host id 0 upward, so faulted hosts land in the
+    canary cohort and the rollout's first gate sees them.  The fault starts
+    at ``fault_start_s`` (normally the baseline boundary) so the pre-rollout
+    baseline stays clean.
+    """
+    specs = []
+    for host_id in range(hosts):
+        if host_id < fault_hosts:
+            flags = ("corrupt@false_submit_rate:start={}".format(
+                int(fault_start_s)),)
+        else:
+            flags = ()
+        specs.append(HostSpec(
+            host_id,
+            # Distinct, seed-derived stream per host: reruns match exactly,
+            # neighbouring hosts decorrelate.
+            seed=seed * 10_000 + host_id * 101 + 7,
+            rate_ios=rate_ios,
+            fault_flags=flags,
+            fault_seed=seed + host_id,
+        ))
+    return specs
+
+
+def run_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42, jobs=1,
+                      fault_hosts=0, quick=False):
+    """Run the canonical staged rollout; returns the rollout report dict.
+
+    The report is deterministic for ``(hosts, stages, seed, fault_hosts,
+    quick)`` — it contains no wall-clock time and no ``jobs`` field, so the
+    same run sharded differently is byte-identical once serialised.
+    """
+    if hosts < 1:
+        raise ValueError("hosts must be >= 1, got {}".format(hosts))
+    if quick:
+        rate_ios, baseline_rounds, bake_rounds = 250, 2, 1
+    else:
+        rate_ios, baseline_rounds, bake_rounds = 500, 3, 2
+    stage_list = parse_stages(stages, hosts, default_bake=bake_rounds)
+    plan = RolloutPlan(stage_list, baseline_rounds=baseline_rounds,
+                       gate=GateConfig(max_violation_rate_delta=0.5,
+                                       max_inconclusive_rate_delta=0.5,
+                                       max_p95_ratio=1.75),
+                       settle_rounds=1)
+    total_rounds = (plan.baseline_rounds
+                    + sum(stage.bake_rounds for stage in plan.stages)
+                    + plan.settle_rounds)
+    old_version, new_version = fleet_versions()
+    specs = make_fleet_specs(hosts, seed, rate_ios,
+                             fault_hosts=fault_hosts,
+                             fault_start_s=plan.baseline_rounds)
+    with FleetRunner(specs, old_version, SECOND, total_rounds,
+                     jobs=jobs) as runner:
+        controller = RolloutController(runner, old_version, new_version,
+                                       plan, SECOND)
+        report = controller.run()
+    report["scenario"] = {
+        "hosts": hosts,
+        "stages": stages,
+        "seed": seed,
+        "fault_hosts": fault_hosts,
+        "rate_ios": rate_ios,
+        "quick": bool(quick),
+    }
+    return report
+
+
+__all__ = [
+    "FLEET_SPEC_V1",
+    "FLEET_SPEC_V2",
+    "GUARDRAIL_NAME",
+    "fleet_versions",
+    "make_fleet_specs",
+    "run_fleet_rollout",
+]

@@ -23,7 +23,11 @@ Listing 1).  Subcommands:
   (``--plan faults.json`` or repeatable ``--fault KIND@TARGET[:...]``
   flags) and print the containment story: injections, contained
   crashes, circuit-breaker timeline, REPLACE fallbacks.  Exit 0 when
-  every fault was contained, 1 when one escaped (see ``docs/faults.md``).
+  every fault was contained, 1 when one escaped (see ``docs/faults.md``);
+- ``fleet``   — stage a guardrail rollout across a sharded multi-host
+  fleet simulation with health gates and automatic rollback (see
+  ``docs/fleet.md``).  Exit 0 when the rollout completes, 1 when a gate
+  tripped and the fleet rolled back.
 
 Exit codes are uniform across subcommands: **0** success, **1** a check,
 gate, or scenario failed (the thing the subcommand exists to detect),
@@ -33,6 +37,7 @@ Usage::
 
     python -m repro.tools.grctl check mygardrails.grd
     python -m repro.tools.grctl inspect --budget-ops 128 mygardrails.grd
+    python -m repro.tools.grctl inspect --json mygardrails.grd
     python -m repro.tools.grctl fmt --write mygardrails.grd
     python -m repro.tools.grctl fmt --check mygardrails.grd
     python -m repro.tools.grctl trace --scenario quick --chrome trace.json
@@ -43,6 +48,8 @@ Usage::
     python -m repro.tools.grctl faults --list
     python -m repro.tools.grctl faults \
         --fault raise@storage.pick_device:start=3,stop=5 --seed 11
+    python -m repro.tools.grctl fleet --hosts 16 --seed 42 --json
+    python -m repro.tools.grctl fleet --hosts 16 --faults 2 --jobs 4
 """
 
 import argparse
@@ -74,6 +81,10 @@ def _build_parser():
         if name in ("check", "inspect"):
             cmd.add_argument("--budget-ops", type=int, default=None,
                              help="override the per-rule instruction budget")
+        if name == "inspect":
+            cmd.add_argument("--json", action="store_true", dest="json_out",
+                             help="print the structure as JSON instead of "
+                                  "the human table")
         if name == "fmt":
             cmd.add_argument("--write", action="store_true",
                              help="rewrite the file in place")
@@ -169,6 +180,30 @@ def _build_parser():
     faults.add_argument("--json", metavar="PATH", default=None,
                         dest="json_out",
                         help="write the run's full accounting as JSON")
+
+    fleet = sub.add_parser(
+        "fleet", help="staged guardrail rollout across a simulated fleet")
+    fleet.add_argument("--hosts", type=int, default=8, metavar="N",
+                       help="fleet size (default 8)")
+    fleet.add_argument("--stages", default="canary:1,25%,100%",
+                       metavar="PLAN",
+                       help="rollout stages as label:size, P%%, or host "
+                            "counts (default canary:1,25%%,100%%)")
+    fleet.add_argument("--seed", type=int, default=42,
+                       help="fleet seed; every host derives its own "
+                            "stream from it (default 42)")
+    fleet.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes; the report is identical "
+                            "for any value (default 1)")
+    fleet.add_argument("--faults", type=int, default=0, metavar="N",
+                       help="corrupt the false-submit signal on the "
+                            "first N hosts from the baseline boundary on "
+                            "(they land in the canary cohort)")
+    fleet.add_argument("--quick", action="store_true",
+                       help="smoke tier: fewer rounds, lighter workload")
+    fleet.add_argument("--json", action="store_true", dest="json_out",
+                       help="print the full rollout report as "
+                            "deterministic JSON")
     return parser
 
 
@@ -185,8 +220,11 @@ def _read(path):
 
 def _compiler(args):
     config = VerifierConfig()
-    if getattr(args, "budget_ops", None) is not None:
-        config.max_rule_cost = args.budget_ops
+    budget = getattr(args, "budget_ops", None)
+    if budget is not None:
+        if budget < 1:
+            raise UsageError("--budget-ops must be >= 1")
+        config.max_rule_cost = budget
     return GuardrailCompiler(verifier_config=config)
 
 
@@ -216,14 +254,51 @@ def cmd_check(args, out):
     return 1 if failures else 0
 
 
+def _inspect_json(args, out, specs, compiler):
+    """``inspect --json``: the same structure, machine-readable."""
+    import json as _json
+
+    guardrails = []
+    for spec in specs:
+        entry = {
+            "name": spec.name,
+            "triggers": [t.to_source() for t in spec.triggers],
+            "reads": sorted(rule_load_keys(spec)),
+            "actions": [a.to_source() for a in spec.actions],
+        }
+        try:
+            compiled = compiler.compile(spec)
+            costs = list(compiled.verification.rule_costs)
+            entry["ops_per_check"] = compiled.verification.total_cost
+        except GuardrailError as error:
+            entry["verifier_error"] = str(error)
+            costs = [None] * len(spec.rules)
+        entry["rules"] = [
+            {"source": rule.to_source(), "ops": cost}
+            for rule, cost in zip(spec.rules, costs)
+        ]
+        guardrails.append(entry)
+    _json.dump({"guardrails": guardrails}, out, indent=2, sort_keys=True)
+    out.write("\n")
+    return 0
+
+
 def cmd_inspect(args, out):
     text = _read(args.file)
     try:
         specs = parse_guardrails(text)
     except GuardrailError as error:
-        out.write("PARSE ERROR: {}\n".format(error))
+        if args.json_out:
+            import json as _json
+
+            _json.dump({"error": str(error)}, out, indent=2, sort_keys=True)
+            out.write("\n")
+        else:
+            out.write("PARSE ERROR: {}\n".format(error))
         return 1
     compiler = _compiler(args)
+    if args.json_out:
+        return _inspect_json(args, out, specs, compiler)
     for spec in specs:
         out.write("guardrail {}\n".format(spec.name))
         for trigger in spec.triggers:
@@ -246,6 +321,8 @@ def cmd_inspect(args, out):
 
 
 def cmd_fmt(args, out):
+    if args.check and args.write:
+        raise UsageError("--check and --write are mutually exclusive")
     text = _read(args.file)
     try:
         specs = parse_guardrails(text)
@@ -294,6 +371,8 @@ def cmd_trace(args, out):
         tracing,
     )
 
+    if args.duration is not None and args.duration <= 0:
+        raise UsageError("--duration must be positive")
     if args.replay is not None:
         try:
             events = read_jsonl(args.replay)
@@ -531,6 +610,8 @@ def cmd_faults(args, out):
         raise UsageError("--threshold must be >= 1")
     if args.backoff <= 0:
         raise UsageError("--backoff must be positive")
+    if args.duration is not None and args.duration <= 0:
+        raise UsageError("--duration must be positive")
     plan = _faults_plan(args)
     config = BreakerConfig(crash_threshold=args.threshold,
                            base_backoff_ns=int(args.backoff * SECOND))
@@ -586,11 +667,84 @@ def cmd_faults(args, out):
     return 0
 
 
+def _render_fleet_summary(out, report):
+    scenario = report["scenario"]
+    out.write("fleet: {} host(s), seed {}, stages {}{}{}\n".format(
+        report["hosts"], scenario["seed"], scenario["stages"],
+        ", {} faulted".format(scenario["fault_hosts"])
+        if scenario["fault_hosts"] else "",
+        " [quick]" if scenario["quick"] else ""))
+    baseline = report["baseline"]
+    out.write("baseline: {} round(s), violation_rate={:.3f}/host-s, "
+              "p95={}\n".format(
+                  report["plan"]["baseline_rounds"],
+                  baseline["violation_rate"],
+                  "{:.0f}us".format(baseline["latency_p95_us"])
+                  if baseline["latency_p95_us"] is not None else "n/a"))
+    for stage_report in report["stages"]:
+        stage = stage_report["stage"]
+        gate = stage_report["gate"]
+        out.write("stage {:<10} -> {:>3} host(s): {}\n".format(
+            stage["label"], stage["target_hosts"],
+            "PASS" if gate["passed"] else
+            "TRIP  [" + "; ".join(gate["reasons"]) + "]"))
+        if "rollback" in stage_report:
+            out.write("  rollback: {} host(s) returned to v{}\n".format(
+                stage_report["rollback"]["hosts"],
+                report["versions"]["old"]["version"]))
+    for entry in report["timeline"]:
+        detail = {k: v for k, v in entry.items()
+                  if k not in ("round", "time_s", "event")}
+        out.write("  t={:>5.1f}s  {:<18}{}\n".format(
+            entry["time_s"], entry["event"],
+            "  " + ", ".join("{}={}".format(k, detail[k])
+                             for k in sorted(detail)) if detail else ""))
+    if report["status"] == "completed":
+        out.write("completed: v{} on all {} host(s) after {} round(s)\n"
+                  .format(report["versions"]["new"]["version"],
+                          report["hosts"], report["rounds"]))
+    else:
+        out.write("ROLLED BACK at stage {!r}: fleet restored to v{}\n"
+                  .format(report["rolled_back_at_stage"],
+                          report["versions"]["old"]["version"]))
+
+
+def cmd_fleet(args, out):
+    # Deferred imports, same policy as trace/bench: `check`/`fmt` stay fast.
+    import json as _json
+
+    if args.hosts < 1:
+        raise UsageError("--hosts must be >= 1")
+    if args.jobs < 1:
+        raise UsageError("--jobs must be >= 1")
+    if args.faults < 0 or args.faults > args.hosts:
+        raise UsageError("--faults must be between 0 and --hosts")
+
+    from repro.fleet.rollout import parse_stages
+    from repro.fleet.scenario import run_fleet_rollout
+
+    try:
+        parse_stages(args.stages, args.hosts)
+    except ValueError as error:
+        raise UsageError(str(error))
+
+    report = run_fleet_rollout(
+        hosts=args.hosts, stages=args.stages, seed=args.seed,
+        jobs=args.jobs, fault_hosts=args.faults, quick=args.quick)
+    if args.json_out:
+        _json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        _render_fleet_summary(out, report)
+    return 0 if report["status"] == "completed" else 1
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
     handler = {"check": cmd_check, "inspect": cmd_inspect, "fmt": cmd_fmt,
-               "trace": cmd_trace, "bench": cmd_bench, "faults": cmd_faults}
+               "trace": cmd_trace, "bench": cmd_bench, "faults": cmd_faults,
+               "fleet": cmd_fleet}
     try:
         return handler[args.command](args, out)
     except UsageError as error:

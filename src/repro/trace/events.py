@@ -21,6 +21,7 @@ CATEGORIES = (
     "retrain",
     "fault",
     "supervisor",
+    "fleet",
 )
 
 PHASE_INSTANT = "i"

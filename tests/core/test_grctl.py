@@ -88,6 +88,48 @@ def test_inspect_shows_costs_and_read_set(good_file):
     assert "REPLACE(slot.x, impl.y)" in output
 
 
+def test_inspect_json_structure(good_file):
+    import json
+
+    code, output = run(["inspect", "--json", good_file])
+    assert code == 0
+    data = json.loads(output)
+    names = [g["name"] for g in data["guardrails"]]
+    assert names == ["a", "b"]
+    first = data["guardrails"][0]
+    assert first["reads"] == ["x"]
+    assert first["rules"][0]["ops"] == 4
+    assert first["ops_per_check"] == 4
+    assert first["actions"] == ["REPORT()"]
+    assert data["guardrails"][1]["reads"] == []
+
+
+def test_inspect_json_parse_error(tmp_path):
+    import json
+
+    path = tmp_path / "bad.grd"
+    path.write_text(BAD_SYNTAX)
+    code, output = run(["inspect", "--json", str(path)])
+    assert code == 1
+    assert "error" in json.loads(output)
+
+
+def test_budget_ops_must_be_positive(good_file):
+    for sub in ("check", "inspect"):
+        code, _ = run([sub, "--budget-ops", "0", good_file])
+        assert code == 2
+
+
+def test_trace_duration_must_be_positive():
+    code, _ = run(["trace", "--duration", "0"])
+    assert code == 2
+
+
+def test_faults_duration_must_be_positive():
+    code, _ = run(["faults", "--duration", "-1"])
+    assert code == 2
+
+
 def test_fmt_canonical_and_idempotent(good_file, tmp_path):
     code, formatted = run(["fmt", good_file])
     assert code == 0
@@ -162,11 +204,13 @@ def test_fmt_check_fails_without_writing(good_file):
         assert handle.read() == original  # --check never writes
 
 
-def test_fmt_check_wins_over_write(good_file):
+def test_fmt_check_with_write_is_usage_error(good_file):
+    # Contradictory flags are an operator mistake (exit 2), not a formatting
+    # failure (exit 1) — and the file must never be touched.
     with open(good_file) as handle:
         original = handle.read()
     code, _ = run(["fmt", "--check", "--write", good_file])
-    assert code == 1
+    assert code == 2
     with open(good_file) as handle:
         assert handle.read() == original
 

@@ -1,0 +1,119 @@
+"""End-to-end acceptance: grctl fleet determinism and the rollback story.
+
+These are the ISSUE's acceptance checks:
+
+- ``grctl fleet --hosts 16 --seed 42 --json`` is byte-identical across
+  runs and across ``--jobs 1`` vs ``--jobs 4``;
+- a fault-injected rollout halts at the canary stage and rolls back via
+  ``GuardrailManager.update()``; a clean rollout reaches 100%.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.tools.grctl import main
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.mark.slow
+def test_fleet_json_byte_identical_across_runs_and_jobs():
+    argv = ["fleet", "--hosts", "16", "--seed", "42", "--json"]
+    code_a, first = run(argv)
+    code_b, second = run(argv)
+    code_c, sharded = run(argv + ["--jobs", "4"])
+    assert code_a == code_b == code_c == 0
+    assert first == second            # rerun: byte-identical
+    assert first == sharded           # sharding cannot leak into the report
+    report = json.loads(first)
+    assert report["status"] == "completed"
+    assert report["hosts"] == 16
+
+
+@pytest.mark.slow
+def test_faulted_rollout_halts_at_canary_and_rolls_back():
+    code, output = run(["fleet", "--hosts", "16", "--seed", "42",
+                        "--faults", "1", "--json"])
+    assert code == 1  # rolled back: the thing `fleet` exists to detect
+    report = json.loads(output)
+    assert report["status"] == "rolled_back"
+    assert report["rolled_back_at_stage"] == "canary"
+    assert len(report["stages"]) == 1
+    gate = report["stages"][0]["gate"]
+    assert not gate["passed"]
+    assert any("inconclusive" in reason for reason in gate["reasons"])
+    # Rollback happened through the update path and settled the fleet.
+    events = [e["event"] for e in report["timeline"]]
+    assert events[-2:] == ["rollback.start", "rollback.done"]
+    assert report["stages"][0]["rollback"]["hosts"] == 1
+
+
+def test_clean_quick_rollout_reaches_full_fleet():
+    code, output = run(["fleet", "--hosts", "4", "--quick", "--json"])
+    assert code == 0
+    report = json.loads(output)
+    assert report["status"] == "completed"
+    # The last stage took the whole fleet.
+    assert report["stages"][-1]["stage"]["target_hosts"] == 4
+    assert report["timeline"][-1]["event"] == "rollout.completed"
+
+
+def test_quick_faulted_rollout_rolls_back():
+    code, output = run(["fleet", "--hosts", "4", "--quick",
+                        "--faults", "1", "--json"])
+    assert code == 1
+    report = json.loads(output)
+    assert report["status"] == "rolled_back"
+    assert report["rolled_back_at_stage"] == "canary"
+
+
+def test_fleet_human_summary_renders():
+    code, output = run(["fleet", "--hosts", "4", "--quick"])
+    assert code == 0
+    assert "fleet: 4 host(s)" in output
+    assert "stage canary" in output
+    assert "completed: v2 on all 4 host(s)" in output
+
+
+def test_fleet_usage_errors_exit_2():
+    for argv in (
+        ["fleet", "--hosts", "0"],
+        ["fleet", "--jobs", "0"],
+        ["fleet", "--hosts", "4", "--faults", "5"],
+        ["fleet", "--hosts", "4", "--stages", "nope:%"],
+        ["fleet", "--hosts", "4", "--stages", ""],
+    ):
+        code, _ = run(argv)
+        assert code == 2, argv
+
+
+def test_fleet_rollback_uses_guardrail_manager_update():
+    # White-box: the host moves v1 -> v2 -> v1 strictly through
+    # GuardrailManager.update() (the no-reboot path), never a fresh load().
+    from repro.fleet.scenario import fleet_versions
+    from repro.fleet.worker import HostSpec, SimulatedHost
+    from repro.sim.units import SECOND
+
+    v1, v2 = fleet_versions()
+    host = SimulatedHost(HostSpec(0, seed=3, rate_ios=200), v1, SECOND, 3)
+    calls = []
+    manager = host.kernel.guardrails
+    original_update = manager.update
+
+    def spying_update(text, **kwargs):
+        calls.append("update")
+        return original_update(text, **kwargs)
+
+    manager.update = spying_update
+    host.step(1 * SECOND)
+    host.apply(v2)
+    host.step(2 * SECOND)
+    host.apply(v1)
+    assert calls == ["update", "update"]
+    assert host.version == 1

@@ -45,6 +45,13 @@ def test_synthesized_guardrails(capsys):
     assert "auto-tightening trajectory" in out
 
 
+def test_fleet_rollout(capsys):
+    run_example("fleet_rollout.py")
+    out = capsys.readouterr().out
+    assert "clean rollout" in out
+    assert "rolled back to v1" in out
+
+
 @pytest.mark.slow
 def test_tiered_memory(capsys):
     run_example("tiered_memory.py")

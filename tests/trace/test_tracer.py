@@ -142,5 +142,5 @@ def test_events_filter_by_guardrail(tracer):
 def test_all_categories_are_known():
     assert set(CATEGORIES) == {
         "hook", "monitor.check", "rule.eval", "action",
-        "featurestore.save", "retrain", "fault", "supervisor",
+        "featurestore.save", "retrain", "fault", "supervisor", "fleet",
     }

@@ -117,6 +117,27 @@ class Histogram:
         self.total += other.total
         return self
 
+    def to_json(self):
+        """Exact state dump; counts are integers so the round trip is exact."""
+        return {"lo": self.lo, "hi": self.hi, "bins": self.bins,
+                "counts": list(self.counts), "underflow": self.underflow,
+                "overflow": self.overflow}
+
+    @classmethod
+    def from_json(cls, data):
+        histogram = cls(data["lo"], data["hi"], data["bins"])
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != histogram.bins:
+            raise ValueError(
+                "histogram state has {} counts for {} bins".format(
+                    len(counts), histogram.bins))
+        histogram.counts = counts
+        histogram.underflow = int(data["underflow"])
+        histogram.overflow = int(data["overflow"])
+        histogram.total = (sum(counts) + histogram.underflow
+                           + histogram.overflow)
+        return histogram
+
     def compatible_with(self, other):
         return (
             isinstance(other, Histogram)

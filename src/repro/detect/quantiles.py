@@ -172,6 +172,35 @@ class P2Quantile:
         self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
         return self
 
+    def to_json(self):
+        """Exact marker-state dump: ``from_json(to_json(p))`` is identical.
+
+        Both phases serialize — the pre-marker sample buffer verbatim, the
+        marker phase as the five heights/positions/desired arrays.  All
+        floats survive JSON repr-exactly, so a round-tripped sketch produces
+        bit-identical estimates and merges.
+        """
+        state = {"q": self.q, "count": self.count,
+                 "initial": list(self._initial)}
+        if self._heights is not None:
+            state["heights"] = list(self._heights)
+            state["positions"] = list(self._positions)
+            state["desired"] = list(self._desired)
+        return state
+
+    @classmethod
+    def from_json(cls, data):
+        sketch = cls(data["q"])
+        sketch.count = int(data["count"])
+        sketch._initial = [float(v) for v in data["initial"]]
+        if "heights" in data:
+            q = sketch.q
+            sketch._heights = [float(v) for v in data["heights"]]
+            sketch._positions = [float(v) for v in data["positions"]]
+            sketch._desired = [float(v) for v in data["desired"]]
+            sketch._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        return sketch
+
     @property
     def value(self):
         """Current quantile estimate; NaN before five samples arrive."""

@@ -212,6 +212,30 @@ class SummaryDigest:
             "max": self._max,
         }
 
+    def to_json(self):
+        """Exact state dump: ``from_json(to_json(d))`` is *identical* to ``d``.
+
+        Unlike :meth:`to_dict` (derived values for humans), this carries the
+        raw Welford accumulators, so round-tripping through JSON changes
+        nothing — Python's JSON floats are repr-exact.  Empty digests omit
+        the infinite min/max sentinels (JSON has no ``inf``).
+        """
+        if self.count == 0:
+            return {"count": 0}
+        return {"count": self.count, "mean": self._mean, "m2": self._m2,
+                "min": self._min, "max": self._max}
+
+    @classmethod
+    def from_json(cls, data):
+        digest = cls()
+        if data["count"]:
+            digest.count = int(data["count"])
+            digest._mean = float(data["mean"])
+            digest._m2 = float(data["m2"])
+            digest._min = float(data["min"])
+            digest._max = float(data["max"])
+        return digest
+
 
 class WindowedMean:
     """Mean of samples observed within a trailing *time* window.
@@ -317,6 +341,26 @@ class RateCounter:
         self._events = merged
         self._hits += other._hits
         return self
+
+    def to_json(self):
+        """Exact state dump: the window plus every live ``(time, hit)`` event.
+
+        The event log *is* the counter's state, so the round trip is exact;
+        the running hit count is recomputed on load rather than trusted.
+        """
+        return {"window": self.window,
+                "events": [[time, 1 if hit else 0]
+                           for time, hit in self._events]}
+
+    @classmethod
+    def from_json(cls, data):
+        counter = cls(data["window"])
+        for time, hit in data["events"]:
+            hit = bool(hit)
+            counter._events.append((time, hit))
+            if hit:
+                counter._hits += 1
+        return counter
 
     def rate(self, now):
         """Fraction of events in the window that were hits (0.0 when empty)."""

@@ -25,11 +25,12 @@ from repro.fleet.rollout import (
     GateConfig,
     GuardrailVersion,
     RolloutController,
+    RolloutObserver,
     RolloutPlan,
     Stage,
     parse_stages,
 )
-from repro.fleet.scenario import run_fleet_rollout
+from repro.fleet.scenario import build_fleet_rollout, run_fleet_rollout
 from repro.fleet.worker import FleetError, FleetRunner, HostSpec, SimulatedHost
 
 __all__ = [
@@ -41,9 +42,11 @@ __all__ = [
     "HostDigest",
     "HostSpec",
     "RolloutController",
+    "RolloutObserver",
     "RolloutPlan",
     "SimulatedHost",
     "Stage",
     "parse_stages",
+    "build_fleet_rollout",
     "run_fleet_rollout",
 ]

@@ -14,6 +14,7 @@ bytes of counters plus ``O(bins)`` histogram state, independent of how
 many I/Os the round served.
 """
 
+import json
 import math
 
 from repro.detect.histogram import Histogram
@@ -100,6 +101,77 @@ class HostDigest:
             "latency_p95_us": _none_if_nan(self.latency.quantile(TAIL_Q)),
         }
 
+    #: Flat counter columns shared by :meth:`to_row` and the results store.
+    COUNTER_FIELDS = ("checks", "violations", "actions", "inconclusive",
+                      "completed_ios", "false_submits", "model_submits")
+
+    def merge_round(self, other):
+        """Fold a *later round of the same host* into this digest.
+
+        Counters add and sketches merge exactly like the cross-host
+        :meth:`FleetDigest.merge_host` path; the result summarizes the
+        host over both rounds.  Used by the results store's downsampling
+        to fold expired raw rounds into time buckets.  Returns ``self``.
+        """
+        if other.host_id != self.host_id:
+            raise ValueError(
+                "cannot fold host {} into host {}'s digest".format(
+                    other.host_id, self.host_id))
+        for field in self.COUNTER_FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+        self.latency.merge(other.latency)
+        self.latency_summary.merge(other.latency_summary)
+        self.latency_tail.merge(other.latency_tail)
+        self.false_submit_rate.merge(other.false_submit_rate)
+        if other.time_ns > self.time_ns:
+            self.time_ns = other.time_ns
+        self.round_index = min(self.round_index, other.round_index)
+        self.version = other.version
+        return self
+
+    def to_row(self):
+        """Exact, store-shaped serialization: flat columns + sketch state.
+
+        The contract is *identity*: ``from_row(to_row(d))`` reconstructs a
+        digest whose every counter and every sketch bit equals ``d``'s, so
+        digests merged after a trip through the results store produce the
+        same fleet aggregates — byte-identical once serialized — as the
+        live digests would have.  Counters land in their own columns (the
+        store indexes and sums them in SQL); sketch internals travel as one
+        JSON text blob.
+        """
+        row = {
+            "host_id": self.host_id,
+            "round_index": self.round_index,
+            "time_ns": self.time_ns,
+            "version": self.version,
+            "sketches": json.dumps({
+                "latency": self.latency.to_json(),
+                "summary": self.latency_summary.to_json(),
+                "tail": self.latency_tail.to_json(),
+                "false_submit_rate": self.false_submit_rate.to_json(),
+            }, sort_keys=True),
+        }
+        for field in self.COUNTER_FIELDS:
+            row[field] = getattr(self, field)
+        return row
+
+    @classmethod
+    def from_row(cls, row):
+        """Inverse of :meth:`to_row`; exact by construction."""
+        sketches = json.loads(row["sketches"])
+        digest = cls(row["host_id"], row["round_index"], row["time_ns"],
+                     row["version"],
+                     window_ns=sketches["false_submit_rate"]["window"])
+        for field in cls.COUNTER_FIELDS:
+            setattr(digest, field, row[field])
+        digest.latency = Histogram.from_json(sketches["latency"])
+        digest.latency_summary = SummaryDigest.from_json(sketches["summary"])
+        digest.latency_tail = P2Quantile.from_json(sketches["tail"])
+        digest.false_submit_rate = RateCounter.from_json(
+            sketches["false_submit_rate"])
+        return digest
+
 
 class FleetDigest:
     """The merge of any set of host digests.
@@ -126,10 +198,15 @@ class FleetDigest:
         self.false_submit_rate = RateCounter(round_ns)
         self.last_time_ns = 0
 
-    def merge_host(self, digest):
-        """Fold one :class:`HostDigest` in; returns ``self``."""
+    def merge_host(self, digest, rounds=1):
+        """Fold one :class:`HostDigest` in; returns ``self``.
+
+        ``rounds`` is the number of lockstep rounds the digest summarizes —
+        1 for a live per-round digest, more for a downsampled time bucket —
+        so host-second rate denominators stay correct either way.
+        """
         self.hosts.add(digest.host_id)
-        self.host_rounds += 1
+        self.host_rounds += rounds
         self.checks += digest.checks
         self.violations += digest.violations
         self.actions += digest.actions

@@ -242,20 +242,50 @@ class RolloutPlan:
         }
 
 
+class RolloutObserver:
+    """Streaming hooks into a running :class:`RolloutController`.
+
+    The controller calls these in deterministic order as the rollout
+    advances; the default implementation ignores everything, so observers
+    override only what they need.  ``repro.service`` subclasses this to
+    ingest each round into the results store without buffering the run.
+    """
+
+    def on_round(self, round_index, time_ns, digests):
+        """Every host digest of one committed lockstep round."""
+
+    def on_timeline(self, entry):
+        """One control-plane timeline entry, as recorded."""
+
+    def on_phase(self, phase):
+        """A phase (baseline / stage bake / rollback settle) finished.
+
+        ``phase`` carries ``kind``, ``label``, ``target_hosts``,
+        ``start_round`` and ``end_round`` (half-open round interval).
+        """
+
+    def on_gate(self, stage_label, round_index, result):
+        """A stage gate was evaluated at the end of ``round_index``."""
+
+
 class RolloutController:
     """Drives one rollout across a :class:`~repro.fleet.worker.FleetRunner`.
 
     The controller only ever sees digests — never raw samples — and only
     ever speaks directives (versioned spec updates keyed by host id), so
     the same logic would hold against real hosts behind an RPC boundary.
+    An optional :class:`RolloutObserver` sees every round's digests and
+    every control-plane event as they happen.
     """
 
-    def __init__(self, runner, old_version, new_version, plan, round_ns):
+    def __init__(self, runner, old_version, new_version, plan, round_ns,
+                 observer=None):
         self.runner = runner
         self.old_version = old_version
         self.new_version = new_version
         self.plan = plan
         self.round_ns = round_ns
+        self.observer = observer or RolloutObserver()
         self.timeline = []
         self._round_index = 0
 
@@ -272,13 +302,15 @@ class RolloutController:
         self.timeline.append(entry)
         if TRACER.active:
             TRACER.emit("fleet", event, self._now_ns(), args=detail or None)
+        self.observer.on_timeline(entry)
 
     def _step(self, directives=None):
         """One lockstep round; returns the per-host digests."""
-        until_ns = (self._round_index + 1) * self.round_ns
-        digests = self.runner.step_round(self._round_index, until_ns,
-                                         directives)
+        round_index = self._round_index
+        until_ns = (round_index + 1) * self.round_ns
+        digests = self.runner.step_round(round_index, until_ns, directives)
         self._round_index += 1
+        self.observer.on_round(round_index, until_ns, digests)
         return digests
 
     def _bake(self, rounds, cohort_ids, directives=None):
@@ -297,6 +329,15 @@ class RolloutController:
 
     # -- the rollout --------------------------------------------------------
 
+    def _notify_phase(self, kind, label, target_hosts, start_round):
+        self.observer.on_phase({
+            "kind": kind,
+            "label": label,
+            "target_hosts": target_hosts,
+            "start_round": start_round,
+            "end_round": self._round_index,
+        })
+
     def run(self):
         """Execute the plan; returns the deterministic rollout report."""
         host_ids = list(self.runner.host_ids)
@@ -304,6 +345,7 @@ class RolloutController:
         self._record("baseline.start", rounds=self.plan.baseline_rounds,
                      version=self.old_version.version)
         baseline = self._bake(self.plan.baseline_rounds, all_ids)
+        self._notify_phase("baseline", "baseline", len(host_ids), 0)
         self._record("baseline.done",
                      violation_rate=baseline.violation_rate(),
                      p95_us=_none_if_nan(baseline.p95_us()))
@@ -318,11 +360,14 @@ class RolloutController:
             self._record("stage.start", stage=stage.label,
                          target_hosts=target, new_hosts=len(new_hosts),
                          version=self.new_version.version)
+            stage_start = self._round_index
             cohort = self._bake(
                 stage.bake_rounds, set(host_ids[:target]),
                 self._directives(new_hosts, self.new_version))
             cohort_size = target
+            self._notify_phase("stage", stage.label, target, stage_start)
             gate = self.plan.gate.evaluate(baseline, cohort)
+            self.observer.on_gate(stage.label, self._round_index, gate)
             stage_reports.append({
                 "stage": stage.to_dict(),
                 "digest": cohort.to_dict(),
@@ -340,9 +385,12 @@ class RolloutController:
             rollback_hosts = host_ids[:cohort_size]
             self._record("rollback.start", hosts=len(rollback_hosts),
                          version=self.old_version.version)
+            rollback_start = self._round_index
             settle = self._bake(
                 max(self.plan.settle_rounds, 1), all_ids,
                 self._directives(rollback_hosts, self.old_version))
+            self._notify_phase("rollback", stage.label, len(rollback_hosts),
+                               rollback_start)
             self._record("rollback.done",
                          violation_rate=settle.violation_rate())
             stage_reports[-1]["rollback"] = {"hosts": len(rollback_hosts),
@@ -380,6 +428,7 @@ __all__ = [
     "GateResult",
     "GuardrailVersion",
     "RolloutController",
+    "RolloutObserver",
     "RolloutPlan",
     "Stage",
     "parse_stages",

@@ -88,14 +88,31 @@ def make_fleet_specs(hosts, seed, rate_ios, fault_hosts=0, fault_start_s=0):
     return specs
 
 
-def run_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42, jobs=1,
-                      fault_hosts=0, quick=False):
-    """Run the canonical staged rollout; returns the rollout report dict.
+class FleetScenario:
+    """Everything needed to run (or re-run) one canonical rollout.
 
-    The report is deterministic for ``(hosts, stages, seed, fault_hosts,
-    quick)`` — it contains no wall-clock time and no ``jobs`` field, so the
-    same run sharded differently is byte-identical once serialised.
+    Built by :func:`build_fleet_rollout` from the scenario knobs alone, so
+    a run and its later regeneration from a results store construct
+    identical plans, specs, and versions — the determinism the service's
+    byte-identity contract rests on.
     """
+
+    __slots__ = ("specs", "plan", "old_version", "new_version",
+                 "total_rounds", "scenario")
+
+    def __init__(self, specs, plan, old_version, new_version, total_rounds,
+                 scenario):
+        self.specs = specs
+        self.plan = plan
+        self.old_version = old_version
+        self.new_version = new_version
+        self.total_rounds = total_rounds
+        self.scenario = scenario
+
+
+def build_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42,
+                        fault_hosts=0, quick=False):
+    """Construct the canonical rollout scenario without running it."""
     if hosts < 1:
         raise ValueError("hosts must be >= 1, got {}".format(hosts))
     if quick:
@@ -115,12 +132,7 @@ def run_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42, jobs=1,
     specs = make_fleet_specs(hosts, seed, rate_ios,
                              fault_hosts=fault_hosts,
                              fault_start_s=plan.baseline_rounds)
-    with FleetRunner(specs, old_version, SECOND, total_rounds,
-                     jobs=jobs) as runner:
-        controller = RolloutController(runner, old_version, new_version,
-                                       plan, SECOND)
-        report = controller.run()
-    report["scenario"] = {
+    scenario = {
         "hosts": hosts,
         "stages": stages,
         "seed": seed,
@@ -128,13 +140,36 @@ def run_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42, jobs=1,
         "rate_ios": rate_ios,
         "quick": bool(quick),
     }
+    return FleetScenario(specs, plan, old_version, new_version, total_rounds,
+                         scenario)
+
+
+def run_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42, jobs=1,
+                      fault_hosts=0, quick=False, observer=None):
+    """Run the canonical staged rollout; returns the rollout report dict.
+
+    The report is deterministic for ``(hosts, stages, seed, fault_hosts,
+    quick)`` — it contains no wall-clock time and no ``jobs`` field, so the
+    same run sharded differently is byte-identical once serialised.
+    """
+    built = build_fleet_rollout(hosts=hosts, stages=stages, seed=seed,
+                                fault_hosts=fault_hosts, quick=quick)
+    with FleetRunner(built.specs, built.old_version, SECOND,
+                     built.total_rounds, jobs=jobs) as runner:
+        controller = RolloutController(runner, built.old_version,
+                                       built.new_version, built.plan, SECOND,
+                                       observer=observer)
+        report = controller.run()
+    report["scenario"] = built.scenario
     return report
 
 
 __all__ = [
     "FLEET_SPEC_V1",
     "FLEET_SPEC_V2",
+    "FleetScenario",
     "GUARDRAIL_NAME",
+    "build_fleet_rollout",
     "fleet_versions",
     "make_fleet_specs",
     "run_fleet_rollout",

@@ -1,0 +1,456 @@
+"""Fleet-health dashboard rendered from store queries alone.
+
+Two renderers, one data path: :func:`render_terminal` prints a
+sparkline-and-table summary for an interactive shell, and
+:func:`render_html` emits a self-contained static HTML page (inline SVG,
+no external assets, no scripts beyond native ``<title>`` hover hints).
+Both consume only :mod:`repro.service.query` results — never the live
+fleet — so they work mid-run against a store another process is writing,
+and they are deterministic for a given store state (no wall-clock
+timestamps), which is what lets tests byte-compare rendered output.
+
+Charts follow one-axis discipline: violation rate and latency are
+different scales, so each gets its own panel instead of a dual-axis
+chart.  Every plotted value also appears in a table, so color is never
+the only way to read a number.
+"""
+
+from repro.service.query import (
+    gate_margins,
+    latency_trend,
+    resolve_run,
+    rollback_timeline,
+    run_status,
+    stage_rates,
+)
+
+#: Eight-level sparkline glyphs, lowest to highest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values):
+    """A unicode sparkline; ``None`` values render as spaces."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return " " * len(values)
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(SPARK_GLYPHS[0])
+        else:
+            level = int((value - lo) / span * (len(SPARK_GLYPHS) - 1))
+            chars.append(SPARK_GLYPHS[level])
+    return "".join(chars)
+
+
+def _fmt_rate(value):
+    return "{:.3f}".format(value)
+
+
+def _fmt_us(value):
+    return "n/a" if value is None else "{:.0f}us".format(value)
+
+
+def _fmt_margin(value):
+    if value is None:
+        return "n/a"
+    return "{:+.3f}".format(value)
+
+
+def _phase_points(points, start_round, end_round):
+    return [p for p in points
+            if p["rounds"][0] >= start_round and p["rounds"][1] <= end_round]
+
+
+def gather(store, run_id=None):
+    """Everything both renderers need, from queries alone."""
+    run = resolve_run(store, run_id)
+    run_id = run["run_id"]
+    return {
+        "status": run_status(store, run_id),
+        "stages": stage_rates(store, run_id),
+        "trend": latency_trend(store, run_id),
+        "gates": gate_margins(store, run_id),
+        "rollbacks": rollback_timeline(store, run_id),
+    }
+
+
+# -- terminal ---------------------------------------------------------------
+
+
+def render_terminal(store, run_id=None):
+    """The fleet-health summary as plain text (deterministic)."""
+    data = gather(store, run_id)
+    status = data["status"]
+    points = data["trend"]["points"]
+    lines = []
+    lines.append("run {} [{}]  {}  {} host(s), round {}{}  t={:.0f}s".format(
+        status["run"], status["kind"], status["status"], status["hosts"],
+        status["committed_round"],
+        "/{}".format(status["total_rounds"] - 1)
+        if status["total_rounds"] else "",
+        status["time_s"]))
+    if status["phase"] is not None:
+        lines.append("phase: {} {!r} ({} host(s))".format(
+            status["phase"]["kind"], status["phase"]["label"],
+            status["phase"]["target_hosts"]))
+    lines.append("fleet: violation_rate={}/host-s  inconclusive_rate={}"
+                 "/host-s  ios={}".format(
+                     _fmt_rate(status["violation_rate"]),
+                     _fmt_rate(status["inconclusive_rate"]),
+                     status["totals"]["completed_ios"]))
+    lines.append("")
+
+    phases = data["stages"]["phases"]
+    if phases:
+        lines.append("{:<10} {:<10} {:>7} {:>9} {:<14} {:>9} {:<14}".format(
+            "phase", "label", "rounds", "viol/h-s", "", "p95", ""))
+        for phase in phases:
+            phase_pts = _phase_points(points, *phase["rounds"])
+            viol_spark = sparkline(
+                [p["violation_rate"] for p in phase_pts])
+            p95_spark = sparkline([p["p95_us"] for p in phase_pts])
+            lines.append(
+                "{:<10} {:<10} {:>3}-{:<3} {:>9} {:<14} {:>9} {:<14}".format(
+                    phase["kind"], phase["label"], phase["rounds"][0],
+                    phase["rounds"][1] - 1,
+                    _fmt_rate(phase["violation_rate"]), viol_spark,
+                    _fmt_us(phase["p95_us"]), p95_spark))
+        lines.append("")
+    else:
+        viol_spark = sparkline([p["violation_rate"] for p in points])
+        p95_spark = sparkline([p["p95_us"] for p in points])
+        lines.append("violation_rate  {}".format(viol_spark))
+        lines.append("p95             {}".format(p95_spark))
+        lines.append("")
+
+    gates = data["gates"]["gates"]
+    if gates:
+        lines.append("{:<10} {:>5} {:<6} {:>10} {:>10} {:>10}".format(
+            "gate", "round", "pass", "viol-m", "inconc-m", "p95-m"))
+        for gate in gates:
+            margins = gate["margins"]
+            lines.append("{:<10} {:>5} {:<6} {:>10} {:>10} {:>10}".format(
+                gate["stage"], gate["round"],
+                "PASS" if gate["passed"] else "TRIP",
+                _fmt_margin(margins.get("violation_rate_delta")),
+                _fmt_margin(margins.get("inconclusive_rate_delta")),
+                _fmt_margin(margins.get("p95_ratio"))))
+            if not gate["passed"]:
+                for reason in gate["reasons"]:
+                    lines.append("           {}".format(reason))
+        lines.append("")
+
+    events = data["rollbacks"]["events"]
+    if events:
+        lines.append("rollback timeline:")
+        for entry in events:
+            detail = {k: v for k, v in entry.items()
+                      if k not in ("round", "time_s", "event")}
+            lines.append("  t={:>6.1f}s  {:<16}{}".format(
+                entry["time_s"], entry["event"],
+                "  " + ", ".join("{}={}".format(k, detail[k])
+                                 for k in sorted(detail)) if detail else ""))
+    elif status["kind"] == "rollout":
+        lines.append("rollback timeline: <clean — no gate tripped>")
+    return "\n".join(lines) + "\n"
+
+
+# -- static HTML ------------------------------------------------------------
+
+_CSS = """\
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --ring: rgba(11,11,11,0.10);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+  --good: #0ca30c; --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --ring: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+    --good: #0ca30c; --critical: #d03b3b;
+  }
+}
+* { box-sizing: border-box; }
+body { margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 18px; margin: 0 0 4px; }
+h2 { font-size: 14px; margin: 24px 0 8px; color: var(--ink-2); }
+.sub { color: var(--ink-2); margin: 0 0 16px; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap; }
+.tile { background: var(--surface); border: 1px solid var(--ring);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px; }
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; }
+.tile .hint { color: var(--muted); font-size: 12px; }
+.panel { background: var(--surface); border: 1px solid var(--ring);
+  border-radius: 8px; padding: 16px; margin-top: 8px; }
+svg text { fill: var(--muted); font: 11px system-ui, sans-serif; }
+svg text.val { fill: var(--ink-2); }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--axis); stroke-width: 1; }
+svg .band { fill: var(--grid); opacity: 0.45; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: right; padding: 5px 10px;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+.pass { color: var(--good); } .trip { color: var(--critical); }
+.status-chip { font-weight: 600; }
+.timeline td { font-variant-numeric: tabular-nums; }
+.neg { color: var(--critical); }
+"""
+
+_CHART_W = 720
+_CHART_H = 150
+_PAD_L = 52
+_PAD_R = 72
+_PAD_T = 12
+_PAD_B = 22
+
+
+def _nice_ticks(hi):
+    """Three clean axis values 0..ceil: [0, mid, top]."""
+    if hi <= 0:
+        return [0.0, 0.5, 1.0]
+    import math
+    magnitude = 10 ** math.floor(math.log10(hi))
+    for mult in (1, 2, 2.5, 5, 10):
+        top = magnitude * mult
+        if top >= hi:
+            return [0.0, top / 2.0, top]
+    return [0.0, hi / 2.0, hi]
+
+
+def _svg_line_chart(points, key, phases, fmt, color_var, title):
+    """One single-series round-indexed line panel with phase bands.
+
+    ``points`` are trend points; ``key`` picks the metric.  Downsampled
+    points draw with a hollow marker so the raw/bucket seam is visible.
+    Native ``<title>`` elements give every marker a hover value, and the
+    full series repeats in the page's table view.
+    """
+    values = [(p, p[key]) for p in points]
+    present = [v for _, v in values if v is not None]
+    if not present:
+        return "<p class=\"sub\">no {} data yet</p>".format(title)
+    max_round = max(p["rounds"][1] for p, _ in values)
+    ticks = _nice_ticks(max(present))
+    top = ticks[-1] or 1.0
+    plot_w = _CHART_W - _PAD_L - _PAD_R
+    plot_h = _CHART_H - _PAD_T - _PAD_B
+
+    def x_at(round_value):
+        return _PAD_L + plot_w * (round_value / max_round)
+
+    def y_at(value):
+        return _PAD_T + plot_h * (1.0 - min(value, top) / top)
+
+    parts = ["<svg viewBox=\"0 0 {} {}\" width=\"100%\" role=\"img\" "
+             "aria-label=\"{}\">".format(_CHART_W, _CHART_H, title)]
+    for phase in phases or ():
+        if phase["kind"] == "baseline":
+            continue
+        x0, x1 = x_at(phase["rounds"][0]), x_at(phase["rounds"][1])
+        parts.append(
+            "<rect class=\"band\" x=\"{:.1f}\" y=\"{}\" width=\"{:.1f}\" "
+            "height=\"{}\"><title>{} {}</title></rect>".format(
+                x0, _PAD_T, x1 - x0, plot_h, phase["kind"],
+                _escape(phase["label"])))
+        parts.append(
+            "<text x=\"{:.1f}\" y=\"{}\">{}</text>".format(
+                x0 + 3, _PAD_T + 11, _escape(phase["label"])))
+    for tick in ticks:
+        y = y_at(tick)
+        parts.append("<line class=\"grid\" x1=\"{}\" y1=\"{:.1f}\" "
+                     "x2=\"{}\" y2=\"{:.1f}\"/>".format(
+                         _PAD_L, y, _CHART_W - _PAD_R, y))
+        parts.append("<text x=\"{}\" y=\"{:.1f}\" "
+                     "text-anchor=\"end\">{}</text>".format(
+                         _PAD_L - 6, y + 4, fmt(tick)))
+    parts.append("<line class=\"axis\" x1=\"{}\" y1=\"{:.1f}\" x2=\"{}\" "
+                 "y2=\"{:.1f}\"/>".format(_PAD_L, y_at(0),
+                                          _CHART_W - _PAD_R, y_at(0)))
+    coords = []
+    for p, v in values:
+        if v is None:
+            continue
+        mid = (p["rounds"][0] + p["rounds"][1]) / 2.0
+        coords.append((x_at(mid), y_at(v), p, v))
+    if len(coords) > 1:
+        path = " ".join("{:.1f},{:.1f}".format(x, y) for x, y, _, _ in coords)
+        parts.append("<polyline points=\"{}\" fill=\"none\" "
+                     "stroke=\"var({})\" stroke-width=\"2\" "
+                     "stroke-linejoin=\"round\" "
+                     "stroke-linecap=\"round\"/>".format(path, color_var))
+    for x, y, p, v in coords:
+        fill = "var(--surface)" if p["downsampled"] else "var({})".format(
+            color_var)
+        parts.append(
+            "<circle cx=\"{:.1f}\" cy=\"{:.1f}\" r=\"4\" fill=\"{}\" "
+            "stroke=\"{}\" stroke-width=\"2\">"
+            "<title>rounds {}-{}: {}</title></circle>".format(
+                x, y, fill,
+                "var({})".format(color_var) if p["downsampled"]
+                else "var(--surface)",
+                p["rounds"][0], p["rounds"][1] - 1, fmt(v)))
+    # Direct label on the latest value — the one number the panel is about.
+    x, y, _, v = coords[-1]
+    parts.append("<text class=\"val\" x=\"{:.1f}\" y=\"{:.1f}\">{}</text>"
+                 .format(x + 8, y + 4, fmt(v)))
+    parts.append("<text x=\"{}\" y=\"{}\">round</text>".format(
+        _CHART_W - _PAD_R - 34, _CHART_H - 6))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _escape(text):
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def render_html(store, run_id=None):
+    """A self-contained fleet-health page (inline SVG, no scripts)."""
+    data = gather(store, run_id)
+    status = data["status"]
+    points = data["trend"]["points"]
+    phases = data["stages"]["phases"]
+    gates = data["gates"]["gates"]
+    events = data["rollbacks"]["events"]
+
+    def rate_fmt(value):
+        return "{:.2f}".format(value)
+
+    def us_fmt(value):
+        return _fmt_us(value)
+
+    html = ["<!DOCTYPE html>", "<html lang=\"en\">", "<head>",
+            "<meta charset=\"utf-8\">",
+            "<meta name=\"viewport\" "
+            "content=\"width=device-width, initial-scale=1\">",
+            "<title>fleet health — run {}</title>".format(status["run"]),
+            "<style>", _CSS, "</style>", "</head>", "<body>"]
+    html.append("<h1>Fleet health — run {} ({})</h1>".format(
+        status["run"], _escape(status["kind"])))
+    chip_class = "pass" if status["status"] == "completed" else (
+        "trip" if status["status"] == "rolled_back" else "sub")
+    html.append("<p class=\"sub\">status <span class=\"status-chip {}\">{}"
+                "</span> &middot; committed round {}{} &middot; t={:.0f}s"
+                "</p>".format(
+                    chip_class, _escape(status["status"]),
+                    status["committed_round"],
+                    " of {}".format(status["total_rounds"] - 1)
+                    if status["total_rounds"] else "",
+                    status["time_s"]))
+
+    html.append("<div class=\"tiles\">")
+    for label, value, hint in (
+        ("Hosts", str(status["hosts"]), "fleet size"),
+        ("Violation rate", _fmt_rate(status["violation_rate"]),
+         "per host-second"),
+        ("Inconclusive rate", _fmt_rate(status["inconclusive_rate"]),
+         "per host-second"),
+        ("Completed I/Os", "{:,}".format(status["totals"]["completed_ios"]),
+         "simulated"),
+    ):
+        html.append("<div class=\"tile\"><div class=\"label\">{}</div>"
+                    "<div class=\"value\">{}</div>"
+                    "<div class=\"hint\">{}</div></div>".format(
+                        label, value, hint))
+    html.append("</div>")
+
+    html.append("<h2>Violation rate per host-second</h2>")
+    html.append("<div class=\"panel\">{}</div>".format(
+        _svg_line_chart(points, "violation_rate", phases, rate_fmt,
+                        "--s1", "violation rate per round")))
+    html.append("<h2>Inconclusive rate per host-second</h2>")
+    html.append("<div class=\"panel\">{}</div>".format(
+        _svg_line_chart(points, "inconclusive_rate", phases, rate_fmt,
+                        "--s2", "inconclusive rate per round")))
+    html.append("<h2>Latency p95</h2>")
+    html.append("<div class=\"panel\">{}</div>".format(
+        _svg_line_chart(points, "p95_us", phases, us_fmt,
+                        "--s3", "latency p95 per round")))
+
+    if gates:
+        html.append("<h2>Gate margins</h2>")
+        html.append("<div class=\"panel\"><table>")
+        html.append("<tr><th>stage</th><th>round</th><th>verdict</th>"
+                    "<th>violation margin</th><th>inconclusive margin</th>"
+                    "<th>p95 margin</th></tr>")
+        for gate in gates:
+            margins = gate["margins"]
+            cells = []
+            for key in ("violation_rate_delta", "inconclusive_rate_delta",
+                        "p95_ratio"):
+                margin = margins.get(key)
+                if margin is None:
+                    cells.append("<td>n/a</td>")
+                else:
+                    cls = " class=\"neg\"" if margin < 0 else ""
+                    cells.append("<td{}>{}</td>".format(
+                        cls, _fmt_margin(margin)))
+            html.append(
+                "<tr><td>{}</td><td>{}</td>"
+                "<td class=\"{}\">{}</td>{}</tr>".format(
+                    _escape(gate["stage"]), gate["round"],
+                    "pass" if gate["passed"] else "trip",
+                    "PASS" if gate["passed"] else "TRIP",
+                    "".join(cells)))
+        html.append("</table></div>")
+
+    html.append("<h2>Rollback timeline</h2>")
+    html.append("<div class=\"panel\">")
+    if events:
+        html.append("<table class=\"timeline\">")
+        html.append("<tr><th>t</th><th>event</th><th>detail</th></tr>")
+        for entry in events:
+            detail = {k: v for k, v in entry.items()
+                      if k not in ("round", "time_s", "event")}
+            html.append("<tr><td>{:.1f}s</td><td>{}</td><td>{}</td></tr>"
+                        .format(entry["time_s"], _escape(entry["event"]),
+                                _escape(", ".join(
+                                    "{}={}".format(k, detail[k])
+                                    for k in sorted(detail)))))
+        html.append("</table>")
+    else:
+        html.append("<p class=\"sub\">clean — no gate tripped</p>")
+    html.append("</div>")
+
+    # Table view: every plotted value, for the CVD/print/no-color case.
+    html.append("<h2>Per-round data</h2>")
+    html.append("<div class=\"panel\"><table>")
+    html.append("<tr><th>rounds</th><th>grain</th><th>violation rate</th>"
+                "<th>inconclusive rate</th><th>p95</th><th>I/Os</th></tr>")
+    for p in points:
+        html.append(
+            "<tr><td>{}-{}</td><td>{}</td><td>{}</td><td>{}</td>"
+            "<td>{}</td><td>{:,}</td></tr>".format(
+                p["rounds"][0], p["rounds"][1] - 1,
+                "bucket" if p["downsampled"] else "raw",
+                _fmt_rate(p["violation_rate"]),
+                _fmt_rate(p["inconclusive_rate"]),
+                _fmt_us(p["p95_us"]), p["completed_ios"]))
+    html.append("</table></div>")
+    html.append("</body>")
+    html.append("</html>")
+    return "\n".join(html) + "\n"
+
+
+__all__ = [
+    "gather",
+    "render_html",
+    "render_terminal",
+    "sparkline",
+]

@@ -1,0 +1,279 @@
+"""The long-lived fleet service loop.
+
+``grctl fleet`` is batch: run, print, exit.  This module is the
+continuous-operation counterpart: it drives a fleet scenario round by
+round on the virtual clock and streams every round's host digests — plus
+the rollout control plane's phases, gate verdicts, and timeline — into a
+:class:`~repro.service.store.ResultsStore` *as they happen*.  Nothing
+buffers a whole run: peak memory is the live hosts plus one round of
+digests, regardless of how many rounds or simulated I/Os the soak covers.
+
+Checkpointing is the store's per-round transaction: each committed round
+advances the ``committed_round`` watermark atomically with its data, so a
+killed service restarts with :func:`resume` — the simulation replays
+deterministically from round zero (hosts are sharded simulator state, not
+serializable mid-round), skips ingest for every round at or below the
+watermark, and continues committing where the dead service stopped.  No
+round is ever duplicated or lost, and a resumed run's store is
+byte-identical to an uninterrupted one.
+"""
+
+import json
+
+from repro.fleet.rollout import RolloutController, RolloutObserver
+from repro.fleet.scenario import build_fleet_rollout, make_fleet_specs
+from repro.fleet.worker import FleetRunner
+from repro.sim.units import SECOND
+from repro.service.store import StoreError
+from repro.trace.tracer import TRACER
+
+
+class ServiceError(Exception):
+    """The service loop cannot run or resume the requested scenario."""
+
+
+class ServiceInterrupted(Exception):
+    """Raised internally when ``max_rounds`` stops a run mid-flight."""
+
+
+class StoreObserver(RolloutObserver):
+    """Streams a controller's rounds and control-plane records to a store.
+
+    Timeline entries are numbered with a deterministic global sequence;
+    on resume, entries whose sequence is already committed are skipped
+    (the replayed values are identical, the store stays append-only).
+    Control records that accrue *after* a round's commit (gate verdicts,
+    phase boundaries, post-bake timeline entries) ride along with the next
+    round's transaction, or with the run's finalize.
+    """
+
+    def __init__(self, store, run_id, skip_through=-1, max_rounds=None):
+        self.store = store
+        self.run_id = run_id
+        self.skip_through = skip_through
+        self.max_rounds = max_rounds
+        self.rounds_committed = 0
+        self.digests_ingested = 0
+        self.rows_deleted = 0
+        self._seq = 0
+        self._skip_seq_through = store.max_event_seq(run_id)
+        self._events = []
+        self._phases = []
+        self._gates = []
+
+    # -- RolloutObserver hooks ---------------------------------------------
+
+    def on_timeline(self, entry):
+        seq = self._seq
+        self._seq += 1
+        if seq > self._skip_seq_through:
+            self._events.append((seq, entry))
+
+    def on_phase(self, phase):
+        self._phases.append(phase)
+
+    def on_gate(self, stage_label, round_index, result):
+        self._gates.append((stage_label, round_index, result.to_dict()))
+
+    def on_round(self, round_index, time_ns, digests):
+        if round_index <= self.skip_through:
+            # Already committed by the run this one resumes; the replay
+            # only exists to rebuild simulator state.
+            self._drain()
+            return
+        folded = self.store.commit_round(
+            self.run_id, round_index, time_ns, digests,
+            events=self._events, phases=self._phases, gates=self._gates)
+        self._drain()
+        self.rounds_committed += 1
+        self.digests_ingested += len(digests)
+        self.rows_deleted += folded["rows_deleted"]
+        if TRACER.active:
+            TRACER.emit("service", "round.commit", time_ns,
+                        args={"run": self.run_id, "round": round_index,
+                              "digests": len(digests)})
+            if folded["rows_deleted"]:
+                TRACER.emit("service", "retention.fold", time_ns,
+                            args={"run": self.run_id,
+                                  "rows_deleted": folded["rows_deleted"]})
+        if (self.max_rounds is not None
+                and self.rounds_committed >= self.max_rounds):
+            raise ServiceInterrupted()
+
+    # -- finalize ----------------------------------------------------------
+
+    def _drain(self):
+        self._events = []
+        self._phases = []
+        self._gates = []
+
+    def finalize(self, status, rolled_back_at=None, final_rounds=None):
+        self.store.finalize_run(
+            self.run_id, status, rolled_back_at=rolled_back_at,
+            final_rounds=final_rounds, events=self._events,
+            phases=self._phases, gates=self._gates)
+        self._drain()
+        if TRACER.active:
+            TRACER.emit("service", "run.finalized",
+                        (final_rounds or 0) * SECOND,
+                        args={"run": self.run_id, "status": status})
+
+
+def _summary(run_id, kind, status, observer, store):
+    totals = {"completed_ios": 0, "violations": 0, "inconclusive": 0,
+              "checks": 0}
+    for row in store.round_rows(run_id):
+        for key in totals:
+            totals[key] += row[key]
+    run = store.run(run_id)
+    return {
+        "run": run_id,
+        "kind": kind,
+        "status": status,
+        "hosts": run["hosts"],
+        "committed_round": run["committed_round"],
+        "rounds_committed_now": observer.rounds_committed,
+        "digests_ingested_now": observer.digests_ingested,
+        "raw_rows_deleted_now": observer.rows_deleted,
+        "totals": totals,
+    }
+
+
+def serve_rollout(store, hosts=8, stages="canary:1,25%,100%", seed=42,
+                  fault_hosts=0, quick=False, jobs=1, max_rounds=None):
+    """Run the canonical staged rollout *into a store*; returns a summary.
+
+    Identical simulation to :func:`repro.fleet.scenario.run_fleet_rollout`
+    (same builder, same controller) — the store just watches, which is why
+    a report regenerated from the store matches the live report
+    byte-for-byte.  ``max_rounds`` commits that many rounds and stops
+    without finalizing, leaving the run resumable.
+    """
+    built = build_fleet_rollout(hosts=hosts, stages=stages, seed=seed,
+                                fault_hosts=fault_hosts, quick=quick)
+    run_id = store.begin_run(
+        "rollout", built.scenario, SECOND, hosts,
+        total_rounds=built.total_rounds, plan=built.plan.to_dict(),
+        versions={"old": built.old_version.to_dict(),
+                  "new": built.new_version.to_dict()})
+    return _drive_rollout(store, run_id, built, jobs=jobs,
+                          max_rounds=max_rounds, skip_through=-1)
+
+
+def serve_soak(store, hosts=8, seed=42, rate_ios=400, rounds=30, jobs=1,
+               max_rounds=None):
+    """Run a steady-state soak (no rollout) into a store.
+
+    Every host runs the observe-only v1 guardrail for ``rounds`` lockstep
+    rounds; the value is the stream of digests, not a deployment verdict.
+    This is the bounded-memory scaling scenario: hundreds of hosts times
+    millions of simulated I/Os, with the store's retention policy keeping
+    disk bounded too.
+    """
+    scenario = {"hosts": hosts, "seed": seed, "rate_ios": rate_ios,
+                "rounds": rounds}
+    run_id = store.begin_run("soak", scenario, SECOND, hosts,
+                             total_rounds=rounds)
+    return _drive_soak(store, run_id, scenario, jobs=jobs,
+                       max_rounds=max_rounds, skip_through=-1)
+
+
+def resume(store, run_id=None, jobs=1, max_rounds=None):
+    """Resume an interrupted run from its last committed round.
+
+    The scenario is rebuilt from the run row alone and replayed
+    deterministically; rounds at or below the checkpoint watermark are
+    re-simulated (to rebuild host state) but not re-ingested.
+    """
+    if run_id is None:
+        run_id = store.latest_run_id()
+        if run_id is None:
+            raise ServiceError("store {!r} has no runs".format(store.path))
+    run = store.run(run_id)
+    if run["status"] != "running":
+        raise ServiceError(
+            "run {} is {}; only interrupted (running) runs resume".format(
+                run_id, run["status"]))
+    if TRACER.active:
+        TRACER.emit("service", "checkpoint.resume",
+                    (run["committed_round"] + 1) * run["round_ns"],
+                    args={"run": run_id,
+                          "committed_round": run["committed_round"]})
+    watermark = run["committed_round"]
+    if run["kind"] == "rollout":
+        built = build_fleet_rollout(**_rollout_kwargs(run["scenario"]))
+        return _drive_rollout(store, run_id, built, jobs=jobs,
+                              max_rounds=max_rounds, skip_through=watermark)
+    if run["kind"] == "soak":
+        return _drive_soak(store, run_id, run["scenario"], jobs=jobs,
+                           max_rounds=max_rounds, skip_through=watermark)
+    raise ServiceError("run {} has unknown kind {!r}".format(
+        run_id, run["kind"]))
+
+
+def _rollout_kwargs(scenario):
+    return {"hosts": scenario["hosts"], "stages": scenario["stages"],
+            "seed": scenario["seed"], "fault_hosts": scenario["fault_hosts"],
+            "quick": scenario["quick"]}
+
+
+def _drive_rollout(store, run_id, built, jobs, max_rounds, skip_through):
+    observer = StoreObserver(store, run_id, skip_through=skip_through,
+                             max_rounds=max_rounds)
+    try:
+        with FleetRunner(built.specs, built.old_version, SECOND,
+                         built.total_rounds, jobs=jobs) as runner:
+            controller = RolloutController(
+                runner, built.old_version, built.new_version, built.plan,
+                SECOND, observer=observer)
+            try:
+                report = controller.run()
+            except ServiceInterrupted:
+                return _summary(run_id, "rollout", "running", observer, store)
+    except StoreError as exc:
+        raise ServiceError(str(exc))
+    observer.finalize(report["status"],
+                      rolled_back_at=report["rolled_back_at_stage"],
+                      final_rounds=report["rounds"])
+    return _summary(run_id, "rollout", report["status"], observer, store)
+
+
+def _drive_soak(store, run_id, scenario, jobs, max_rounds, skip_through):
+    from repro.fleet.scenario import fleet_versions
+
+    rounds = scenario["rounds"]
+    specs = make_fleet_specs(scenario["hosts"], scenario["seed"],
+                             scenario["rate_ios"])
+    old_version, _ = fleet_versions()
+    observer = StoreObserver(store, run_id, skip_through=skip_through,
+                             max_rounds=max_rounds)
+    try:
+        with FleetRunner(specs, old_version, SECOND, rounds,
+                         jobs=jobs) as runner:
+            for round_index in range(rounds):
+                until_ns = (round_index + 1) * SECOND
+                digests = runner.step_round(round_index, until_ns)
+                try:
+                    observer.on_round(round_index, until_ns, digests)
+                except ServiceInterrupted:
+                    return _summary(run_id, "soak", "running", observer,
+                                    store)
+    except StoreError as exc:
+        raise ServiceError(str(exc))
+    observer.finalize("completed", final_rounds=rounds)
+    return _summary(run_id, "soak", "completed", observer, store)
+
+
+def summary_json(summary):
+    """Deterministic JSON text for a serve/resume summary."""
+    return json.dumps(summary, indent=2, sort_keys=True)
+
+
+__all__ = [
+    "ServiceError",
+    "StoreObserver",
+    "resume",
+    "serve_rollout",
+    "serve_soak",
+    "summary_json",
+]

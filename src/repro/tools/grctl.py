@@ -27,7 +27,21 @@ Listing 1).  Subcommands:
 - ``fleet``   — stage a guardrail rollout across a sharded multi-host
   fleet simulation with health gates and automatic rollback (see
   ``docs/fleet.md``).  Exit 0 when the rollout completes, 1 when a gate
-  tripped and the fleet rolled back.
+  tripped and the fleet rolled back.  ``--out FILE`` saves the
+  deterministic JSON report alongside either rendering;
+- ``serve``   — run a rollout or steady-state soak as a *service*,
+  streaming every round's host digests into an append-only sqlite
+  results store with per-round checkpointing (``--resume`` continues an
+  interrupted run from its last committed round; see
+  ``docs/service.md``).  Exit codes mirror ``fleet``: 1 when the served
+  rollout rolled back;
+- ``query``   — typed queries over a results store (``status``,
+  ``stages``, ``trend``, ``gates``, ``rollbacks``, ``runs``,
+  ``report``), answerable mid-run; ``report`` regenerates the exact
+  ``fleet --json`` report from stored rows;
+- ``dash``    — the fleet-health dashboard rendered from store queries
+  alone: terminal sparklines by default, a self-contained static HTML
+  page with ``--html``.
 
 Exit codes are uniform across subcommands: **0** success, **1** a check,
 gate, or scenario failed (the thing the subcommand exists to detect),
@@ -50,6 +64,10 @@ Usage::
         --fault raise@storage.pick_device:start=3,stop=5 --seed 11
     python -m repro.tools.grctl fleet --hosts 16 --seed 42 --json
     python -m repro.tools.grctl fleet --hosts 16 --faults 2 --jobs 4
+    python -m repro.tools.grctl serve --store fleet.sqlite --hosts 16
+    python -m repro.tools.grctl serve --store fleet.sqlite --resume
+    python -m repro.tools.grctl query report --store fleet.sqlite
+    python -m repro.tools.grctl dash --store fleet.sqlite --html dash.html
 """
 
 import argparse
@@ -204,6 +222,74 @@ def _build_parser():
     fleet.add_argument("--json", action="store_true", dest="json_out",
                        help="print the full rollout report as "
                             "deterministic JSON")
+    fleet.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the deterministic JSON report "
+                            "to FILE (unwritable path: exit 2, before "
+                            "the run starts)")
+
+    serve = sub.add_parser(
+        "serve", help="run a fleet scenario into a sqlite results store")
+    serve.add_argument("--store", required=True, metavar="PATH",
+                       help="sqlite results store (created if absent)")
+    serve.add_argument("--soak", action="store_true",
+                       help="steady-state soak (no rollout): every host "
+                            "bakes on v1 for --rounds rounds")
+    serve.add_argument("--resume", action="store_true",
+                       help="resume the latest interrupted run in the "
+                            "store (or --run) from its last committed "
+                            "round")
+    serve.add_argument("--run", type=int, default=None, metavar="ID",
+                       help="run id for --resume (default: latest)")
+    serve.add_argument("--hosts", type=int, default=8, metavar="N",
+                       help="fleet size (default 8)")
+    serve.add_argument("--stages", default="canary:1,25%,100%",
+                       metavar="PLAN",
+                       help="rollout stages (default canary:1,25%%,100%%)")
+    serve.add_argument("--seed", type=int, default=42,
+                       help="fleet seed (default 42)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default 1)")
+    serve.add_argument("--faults", type=int, default=0, metavar="N",
+                       help="corrupt the false-submit signal on the "
+                            "first N hosts (rollout mode)")
+    serve.add_argument("--quick", action="store_true",
+                       help="smoke tier: fewer rounds, lighter workload")
+    serve.add_argument("--rounds", type=int, default=30, metavar="N",
+                       help="soak length in lockstep rounds (default 30)")
+    serve.add_argument("--rate", type=int, default=400, metavar="IOS",
+                       help="soak per-host I/O arrival rate per round "
+                            "(default 400)")
+    serve.add_argument("--max-rounds", type=int, default=None, metavar="N",
+                       help="commit at most N rounds then stop without "
+                            "finalizing (the run stays resumable)")
+    serve.add_argument("--retain-rounds", type=int, default=None,
+                       metavar="N",
+                       help="retention horizon: keep the most recent N "
+                            "rounds raw, fold older rounds into time "
+                            "buckets (default: keep everything raw)")
+    serve.add_argument("--bucket-rounds", type=int, default=8, metavar="N",
+                       help="downsampling bucket width in rounds "
+                            "(default 8)")
+
+    query = sub.add_parser(
+        "query", help="typed queries over a results store")
+    query.add_argument("name",
+                       help="one of: status, stages, trend, gates, "
+                            "rollbacks, runs, report")
+    query.add_argument("--store", required=True, metavar="PATH",
+                       help="sqlite results store")
+    query.add_argument("--run", type=int, default=None, metavar="ID",
+                       help="run id (default: latest)")
+
+    dash = sub.add_parser(
+        "dash", help="fleet-health dashboard rendered from a results store")
+    dash.add_argument("--store", required=True, metavar="PATH",
+                      help="sqlite results store")
+    dash.add_argument("--run", type=int, default=None, metavar="ID",
+                      help="run id (default: latest)")
+    dash.add_argument("--html", metavar="FILE", default=None,
+                      help="write the static HTML page to FILE instead "
+                           "of printing the terminal summary")
     return parser
 
 
@@ -728,15 +814,147 @@ def cmd_fleet(args, out):
     except ValueError as error:
         raise UsageError(str(error))
 
-    report = run_fleet_rollout(
-        hosts=args.hosts, stages=args.stages, seed=args.seed,
-        jobs=args.jobs, fault_hosts=args.faults, quick=args.quick)
+    # Fail on an unwritable --out path *before* the run, not after it.
+    out_handle = None
+    if args.out is not None:
+        try:
+            out_handle = open(args.out, "w")
+        except OSError as exc:
+            raise UsageError("cannot write {!r}: {}".format(
+                args.out, exc.strerror or exc))
+
+    try:
+        report = run_fleet_rollout(
+            hosts=args.hosts, stages=args.stages, seed=args.seed,
+            jobs=args.jobs, fault_hosts=args.faults, quick=args.quick)
+        if out_handle is not None:
+            _json.dump(report, out_handle, indent=2, sort_keys=True)
+            out_handle.write("\n")
+    finally:
+        if out_handle is not None:
+            out_handle.close()
     if args.json_out:
         _json.dump(report, out, indent=2, sort_keys=True)
         out.write("\n")
     else:
         _render_fleet_summary(out, report)
+        if args.out is not None:
+            out.write("wrote report to {}\n".format(args.out))
     return 0 if report["status"] == "completed" else 1
+
+
+def _open_store(args, retention=None):
+    from repro.service.store import ResultsStore, StoreError
+
+    try:
+        return ResultsStore(args.store, retention=retention)
+    except StoreError as error:
+        raise UsageError(str(error))
+
+
+def cmd_serve(args, out):
+    # Deferred imports, same policy as trace/bench: `check`/`fmt` stay fast.
+    from repro.fleet.rollout import parse_stages
+    from repro.service.loop import (
+        ServiceError,
+        resume,
+        serve_rollout,
+        serve_soak,
+        summary_json,
+    )
+    from repro.service.store import RetentionPolicy
+
+    if args.hosts < 1:
+        raise UsageError("--hosts must be >= 1")
+    if args.jobs < 1:
+        raise UsageError("--jobs must be >= 1")
+    if args.faults < 0 or args.faults > args.hosts:
+        raise UsageError("--faults must be between 0 and --hosts")
+    if args.rounds < 1:
+        raise UsageError("--rounds must be >= 1")
+    if args.rate < 1:
+        raise UsageError("--rate must be >= 1")
+    if args.max_rounds is not None and args.max_rounds < 1:
+        raise UsageError("--max-rounds must be >= 1")
+    if args.run is not None and not args.resume:
+        raise UsageError("--run only makes sense with --resume")
+    try:
+        retention = RetentionPolicy(raw_rounds=args.retain_rounds,
+                                    bucket_rounds=args.bucket_rounds)
+    except ValueError as error:
+        raise UsageError(str(error))
+    if not args.resume and not args.soak:
+        try:
+            parse_stages(args.stages, args.hosts)
+        except ValueError as error:
+            raise UsageError(str(error))
+
+    with _open_store(args, retention=retention) as store:
+        try:
+            if args.resume:
+                summary = resume(store, run_id=args.run, jobs=args.jobs,
+                                 max_rounds=args.max_rounds)
+            elif args.soak:
+                summary = serve_soak(
+                    store, hosts=args.hosts, seed=args.seed,
+                    rate_ios=args.rate, rounds=args.rounds, jobs=args.jobs,
+                    max_rounds=args.max_rounds)
+            else:
+                summary = serve_rollout(
+                    store, hosts=args.hosts, stages=args.stages,
+                    seed=args.seed, fault_hosts=args.faults,
+                    quick=args.quick, jobs=args.jobs,
+                    max_rounds=args.max_rounds)
+        except ServiceError as error:
+            raise UsageError(str(error))
+    out.write(summary_json(summary))
+    out.write("\n")
+    # Same contract as `fleet`: a gate trip the service detected is 1.
+    return 1 if summary["status"] == "rolled_back" else 0
+
+
+def cmd_query(args, out):
+    import json as _json
+
+    from repro.service.query import QUERIES
+    from repro.service.store import StoreError
+
+    if args.name not in QUERIES:
+        raise UsageError("unknown query {!r}; known: {}".format(
+            args.name, ", ".join(sorted(QUERIES))))
+    with _open_store(args) as store:
+        try:
+            result = QUERIES[args.name](store, args.run)
+        except StoreError as error:
+            raise UsageError(str(error))
+    _json.dump(result, out, indent=2, sort_keys=True)
+    out.write("\n")
+    return 0
+
+
+def cmd_dash(args, out):
+    from repro.service.dashboard import render_html, render_terminal
+    from repro.service.store import StoreError
+
+    with _open_store(args) as store:
+        try:
+            if args.html is not None:
+                page = render_html(store, args.run)
+            else:
+                text = render_terminal(store, args.run)
+        except StoreError as error:
+            raise UsageError(str(error))
+    if args.html is not None:
+        try:
+            with open(args.html, "w") as handle:
+                handle.write(page)
+        except OSError as exc:
+            raise UsageError("cannot write {!r}: {}".format(
+                args.html, exc.strerror or exc))
+        out.write("wrote dashboard to {}\n".format(args.html))
+    else:
+        out.write(text)
+    return 0
 
 
 def main(argv=None, out=None):
@@ -744,7 +962,8 @@ def main(argv=None, out=None):
     args = _build_parser().parse_args(argv)
     handler = {"check": cmd_check, "inspect": cmd_inspect, "fmt": cmd_fmt,
                "trace": cmd_trace, "bench": cmd_bench, "faults": cmd_faults,
-               "fleet": cmd_fleet}
+               "fleet": cmd_fleet, "serve": cmd_serve, "query": cmd_query,
+               "dash": cmd_dash}
     try:
         return handler[args.command](args, out)
     except UsageError as error:

@@ -22,6 +22,7 @@ CATEGORIES = (
     "fault",
     "supervisor",
     "fleet",
+    "service",
 )
 
 PHASE_INSTANT = "i"

@@ -1,0 +1,105 @@
+"""Dashboard rendering: sparklines, terminal text, static HTML."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.service.dashboard import render_html, render_terminal, sparkline
+from repro.service.loop import serve_rollout, serve_soak
+from repro.service.store import ResultsStore, RetentionPolicy
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultsStore(str(tmp_path / "s.sqlite")) as opened:
+        yield opened
+
+
+def test_sparkline_levels():
+    assert sparkline([0, 1, 2, 3, 4, 5, 6, 7]) == "▁▂▃▄▅▆▇█"
+    assert sparkline([5, 5, 5]) == "▁▁▁"  # flat series stays low
+    assert sparkline([]) == ""
+    assert sparkline([None, 1.0, None]) == " ▁ "
+    assert sparkline([None, None]) == "  "
+
+
+def test_terminal_render_is_deterministic_and_complete(store):
+    serve_rollout(store, hosts=4, quick=True, fault_hosts=1, seed=42)
+    first = render_terminal(store)
+    assert first == render_terminal(store)
+    assert "rolled_back" in first
+    assert "baseline" in first and "canary" in first
+    assert "TRIP" in first
+    assert "gate.trip" in first  # rollback timeline
+    assert "▁" in first  # sparklines rendered
+
+
+def test_terminal_render_clean_rollout(store):
+    serve_rollout(store, hosts=4, quick=True, seed=7)
+    text = render_terminal(store)
+    assert "completed" in text
+    assert "PASS" in text
+    assert "clean — no gate tripped" in text
+
+
+def test_terminal_render_soak_without_phases(store):
+    serve_soak(store, hosts=2, seed=5, rate_ios=50, rounds=3)
+    text = render_terminal(store)
+    assert "soak" in text
+    assert "violation_rate" in text
+
+
+class _WellFormed(HTMLParser):
+    VOID = {"meta", "br", "hr", "img", "input", "link",
+            "circle", "rect", "line", "polyline", "path"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append((tag, self.getpos()))
+        else:
+            self.stack.pop()
+
+
+def test_html_render_is_wellformed_with_tables_and_charts(store):
+    serve_rollout(store, hosts=4, quick=True, fault_hosts=1, seed=42)
+    page = render_html(store)
+    assert page == render_html(store)  # deterministic
+    parser = _WellFormed()
+    parser.feed(page)
+    assert parser.errors == []
+    assert parser.stack == []
+    assert page.count("<svg") == 3  # one axis per metric, never dual
+    assert "Gate margins" in page
+    assert "Rollback timeline" in page
+    assert "Per-round data" in page  # table view backs every chart
+    assert "<title>" in page  # hover values on markers
+    assert "prefers-color-scheme: dark" in page  # selected dark mode
+
+
+def test_html_escapes_label_text(store):
+    serve_rollout(store, hosts=4, quick=True, fault_hosts=1, seed=42)
+    page = render_html(store)
+    assert "<script" not in page
+    # timeline reasons contain `>` characters; they must arrive escaped
+    assert "&gt;" in page
+
+
+def test_html_marks_downsampled_points(tmp_path):
+    policy = RetentionPolicy(raw_rounds=2, bucket_rounds=2)
+    with ResultsStore(str(tmp_path / "r.sqlite"), retention=policy) as store:
+        serve_soak(store, hosts=2, seed=5, rate_ios=50, rounds=8)
+        page = render_html(store)
+        assert "bucket" in page  # grain column distinguishes the seam
+        text = render_terminal(store)
+        assert "violation_rate" in text

@@ -1,13 +1,11 @@
 """Parallel sharded benchmark runner behind ``grctl bench``.
 
 Discovers every ``benchmarks/bench_*.py`` module, collects its
-``scenarios()`` entries, and runs them across a pool of worker
-*processes* — one process per scenario, so a per-scenario timeout can
-kill a hung experiment without poisoning a shared pool, and a crashed
-interpreter (OOM, segfaulting native code) costs one retry instead of
-the whole run.  Scenarios are seed-pinned and share no state, which is
-what makes sharding safe; results merge into one canonical
-``BENCH.json`` (see :mod:`repro.bench.results`).
+``scenarios()`` entries, and runs them across the shared process pool
+(:mod:`repro.bench.pool`): one process per scenario, per-scenario
+timeout, retry-once on crash.  Scenarios are seed-pinned and share no
+state, which is what makes sharding safe; results merge into one
+canonical ``BENCH.json`` (see :mod:`repro.bench.results`).
 
 Scheduling is longest-first: scenarios are sorted by their declared
 relative ``cost`` and handed to workers as slots free up, so the big
@@ -17,16 +15,13 @@ past 2x versus ``--jobs 1``.
 """
 
 import importlib.util
-import multiprocessing
 import pathlib
 import sys
 import time
 import traceback
 
+from repro.bench.pool import DEFAULT_TIMEOUT_S, PoolTask, run_pool
 from repro.bench.results import INFO_KEY, git_sha, make_document, scenario
-
-DEFAULT_TIMEOUT_S = 300.0
-_POLL_S = 0.05
 
 
 class ScenarioSpec:
@@ -145,48 +140,6 @@ def _worker(module_path, scenario_id, out_dir, conn):
         conn.close()
 
 
-class _Job:
-    def __init__(self, spec, attempt):
-        self.spec = spec
-        self.attempt = attempt
-        self.conn = None
-        self.process = None
-        self.deadline = None
-
-    def start(self, out_dir, timeout_s):
-        self.conn, child_conn = multiprocessing.Pipe(duplex=False)
-        self.process = multiprocessing.Process(
-            target=_worker,
-            args=(self.spec.module_path, self.spec.id, out_dir, child_conn),
-            daemon=True)
-        self.process.start()
-        child_conn.close()
-        self.deadline = time.monotonic() + timeout_s
-
-    def receive(self):
-        """(status, payload) if the child has reported, else None."""
-        try:
-            if self.conn.poll():
-                return self.conn.recv()
-        except (EOFError, OSError):
-            pass
-        return None
-
-
-def _result_skeleton(spec, attempt):
-    return {
-        "id": spec.id,
-        "module": spec.module,
-        "seed": spec.seed,
-        "attempts": attempt,
-        "status": None,
-        "wall_time_s": None,
-        "metrics": {},
-        "info": None,
-        "error": None,
-    }
-
-
 def run_scenarios(specs, jobs=1, timeout_s=DEFAULT_TIMEOUT_S, out_dir=None,
                   progress=None):
     """Run scenario specs on ``jobs`` worker processes; return result dicts.
@@ -197,67 +150,28 @@ def run_scenarios(specs, jobs=1, timeout_s=DEFAULT_TIMEOUT_S, out_dir=None,
     also dies).  The returned list is sorted by scenario id regardless of
     completion order, so merged output is canonical.
     """
-    jobs = max(1, int(jobs))
-    progress = progress or (lambda message: None)
-    pending = list(specs)  # already longest-first from discover()
-    running = []
+    by_id = {spec.id: spec for spec in specs}
+    tasks = [PoolTask(spec.id, _worker,
+                      (spec.module_path, spec.id, out_dir), cost=spec.cost)
+             for spec in specs]  # already longest-first from discover()
     results = []
-
-    def finish(job, status, payload):
-        result = _result_skeleton(job.spec, job.attempt)
-        result["status"] = status
-        result.update(payload)
+    for outcome in run_pool(tasks, jobs=jobs, timeout_s=timeout_s,
+                            progress=progress):
+        spec = by_id[outcome["id"]]
+        result = {
+            "id": spec.id,
+            "module": spec.module,
+            "seed": spec.seed,
+            "attempts": outcome["attempts"],
+            "status": outcome["status"],
+            "wall_time_s": None,
+            "metrics": {},
+            "info": None,
+            "error": None,
+        }
+        result.update(outcome["payload"])
         results.append(result)
-        progress("{:<9} {} (attempt {}, {:.2f}s)".format(
-            status, job.spec.id, job.attempt,
-            result["wall_time_s"] or 0.0))
-
-    def retry_or_fail(job, status, payload):
-        if job.attempt == 1:
-            progress("{:<9} {} (attempt 1) — retrying once".format(
-                status, job.spec.id))
-            replacement = _Job(job.spec, attempt=2)
-            replacement.start(out_dir, timeout_s)
-            running.append(replacement)
-        else:
-            finish(job, status, payload)
-
-    while pending or running:
-        while pending and len(running) < jobs:
-            job = _Job(pending.pop(0), attempt=1)
-            job.start(out_dir, timeout_s)
-            progress("start     {} (cost {:g})".format(
-                job.spec.id, job.spec.cost))
-            running.append(job)
-        time.sleep(_POLL_S)
-        for job in running[:]:
-            received = job.receive()
-            alive = job.process.is_alive()
-            if received is None and not alive:
-                received = job.receive()  # result raced the exit check
-            if received is not None:
-                status, payload = received
-                job.process.join()
-                running.remove(job)
-                finish(job, status, payload)
-            elif not alive:
-                # Died without reporting: crashed interpreter.
-                job.process.join()
-                running.remove(job)
-                retry_or_fail(job, "crash", {
-                    "error": "worker exited with code {}".format(
-                        job.process.exitcode)})
-            elif time.monotonic() > job.deadline:
-                job.process.terminate()
-                job.process.join(5)
-                if job.process.is_alive():
-                    job.process.kill()
-                    job.process.join()
-                running.remove(job)
-                retry_or_fail(job, "timeout", {
-                    "error": "scenario exceeded {:.0f}s timeout".format(
-                        timeout_s)})
-    return sorted(results, key=lambda r: r["id"])
+    return results
 
 
 def run_suite(bench_dir, jobs=1, quick=False, filter_expr=None,

@@ -1,0 +1,251 @@
+"""The labelled episode dataset (``eval/dataset.jsonl``).
+
+The dataset is a JSONL file under version discipline (see
+``eval/DATASET_VERSION.md``): the first record is a header carrying the
+schema version (the *format*) and the dataset version (the *contents*);
+every other record is one labelled episode.  Episode labels are not free
+text — each expected verdict is forced by the episode's construction
+(host regimes map 1:1 onto verdicts; a fleet rollout with faulted hosts
+must trip, a clean one must not), and :func:`load_dataset` re-derives and
+enforces every label, so a mislabelled line is a load error rather than a
+silent scoring skew.
+
+Two episode kinds:
+
+- ``host`` — one guardrail family probe (see
+  :data:`repro.eval.episodes.HOST_FAMILIES`) in one regime on one seed;
+- ``fleet`` — one staged rollout (hosts/seed/faults) recorded under a
+  permissive gate and judged offline.
+
+``tier`` splits the dataset the same way the bench suite splits: CI's
+``eval-smoke`` runs the ``quick`` episodes only; the committed baseline
+is produced from the full set.
+"""
+
+import json
+import os
+
+SCHEMA_VERSION = "1.0"
+
+EXPECTED_VERDICTS = ("allow", "inconclusive", "trip")
+TIERS = ("quick", "full")
+
+_HEADER_FIELDS = {"record", "schema_version", "dataset_version",
+                  "description"}
+_COMMON_FIELDS = {"record", "id", "kind", "tier", "expected", "notes"}
+_HOST_FIELDS = _COMMON_FIELDS | {"family", "regime", "seed"}
+_FLEET_FIELDS = _COMMON_FIELDS | {"hosts", "seed", "fault_hosts",
+                                  "fault_kind"}
+
+
+class DatasetError(Exception):
+    """A structural or labelling problem in the episode dataset."""
+
+
+def default_dataset_path():
+    """The in-repo dataset (``eval/dataset.jsonl`` next to ``src/``)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "eval", "dataset.jsonl")
+
+
+def _fail(line_no, message):
+    raise DatasetError("dataset line {}: {}".format(line_no, message))
+
+
+def _require(record, line_no, field, kinds):
+    if field not in record:
+        _fail(line_no, "missing field {!r}".format(field))
+    value = record[field]
+    if not isinstance(value, kinds) or isinstance(value, bool) != (
+            kinds is bool):
+        _fail(line_no, "field {!r} must be {}, got {!r}".format(
+            field, getattr(kinds, "__name__", kinds), value))
+    return value
+
+
+def _check_host(record, line_no):
+    from repro.eval.episodes import EXPECTED_BY_REGIME, HOST_FAMILIES
+
+    unknown = set(record) - _HOST_FIELDS
+    if unknown:
+        _fail(line_no, "unknown host-episode field(s): {}".format(
+            ", ".join(sorted(unknown))))
+    family = _require(record, line_no, "family", str)
+    if family not in HOST_FAMILIES:
+        _fail(line_no, "unknown family {!r}; known: {}".format(
+            family, ", ".join(sorted(HOST_FAMILIES))))
+    regime = _require(record, line_no, "regime", str)
+    if regime not in EXPECTED_BY_REGIME:
+        _fail(line_no, "unknown regime {!r}; known: {}".format(
+            regime, ", ".join(sorted(EXPECTED_BY_REGIME))))
+    _require(record, line_no, "seed", int)
+    forced = EXPECTED_BY_REGIME[regime]
+    if record["expected"] != forced:
+        _fail(line_no, "a {!r} host episode must expect {!r}, got {!r} "
+              "(labels are derived, not free text)".format(
+                  regime, forced, record["expected"]))
+
+
+def _check_fleet(record, line_no):
+    from repro.fleet.scenario import FLEET_FAULT_KINDS
+
+    unknown = set(record) - _FLEET_FIELDS
+    if unknown:
+        _fail(line_no, "unknown fleet-episode field(s): {}".format(
+            ", ".join(sorted(unknown))))
+    hosts = _require(record, line_no, "hosts", int)
+    if hosts < 1:
+        _fail(line_no, "hosts must be >= 1, got {}".format(hosts))
+    _require(record, line_no, "seed", int)
+    fault_hosts = _require(record, line_no, "fault_hosts", int)
+    if not 0 <= fault_hosts <= hosts:
+        _fail(line_no, "fault_hosts must be in [0, hosts], got {}".format(
+            fault_hosts))
+    fault_kind = record.get("fault_kind")
+    if fault_hosts == 0:
+        if fault_kind is not None:
+            _fail(line_no, "a clean fleet episode must have fault_kind null")
+        forced = "allow"
+    else:
+        if fault_kind not in FLEET_FAULT_KINDS:
+            _fail(line_no, "unknown fault_kind {!r}; known: {}".format(
+                fault_kind, ", ".join(FLEET_FAULT_KINDS)))
+        forced = "trip"
+    if record["expected"] != forced:
+        _fail(line_no, "a fleet episode with fault_hosts={} must expect "
+              "{!r}, got {!r}".format(fault_hosts, forced,
+                                      record["expected"]))
+
+
+def load_dataset(path=None):
+    """Parse and fully validate the dataset; returns ``(header, episodes)``.
+
+    ``episodes`` is a list of plain dicts in file order.  Any structural
+    problem — bad JSON, unknown fields, duplicate ids, a label that
+    contradicts the episode's construction — raises :class:`DatasetError`
+    naming the offending line.
+    """
+    path = path or default_dataset_path()
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise DatasetError("cannot read dataset {}: {}".format(path, exc))
+
+    header = None
+    episodes = []
+    seen_ids = set()
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            _fail(line_no, "blank lines are not allowed")
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            _fail(line_no, "invalid JSON: {}".format(exc))
+        if not isinstance(record, dict):
+            _fail(line_no, "every record must be an object")
+        kind = record.get("record")
+        if line_no == 1:
+            if kind != "header":
+                _fail(line_no, "first record must be the header")
+            unknown = set(record) - _HEADER_FIELDS
+            if unknown:
+                _fail(line_no, "unknown header field(s): {}".format(
+                    ", ".join(sorted(unknown))))
+            schema = _require(record, line_no, "schema_version", str)
+            if schema.split(".")[0] != SCHEMA_VERSION.split(".")[0]:
+                _fail(line_no, "schema_version {} is incompatible with "
+                      "reader {}".format(schema, SCHEMA_VERSION))
+            _require(record, line_no, "dataset_version", str)
+            header = record
+            continue
+        if kind != "episode":
+            _fail(line_no, "expected an episode record, got {!r}".format(
+                kind))
+        episode_id = _require(record, line_no, "id", str)
+        if episode_id in seen_ids:
+            _fail(line_no, "duplicate episode id {!r}".format(episode_id))
+        seen_ids.add(episode_id)
+        tier = _require(record, line_no, "tier", str)
+        if tier not in TIERS:
+            _fail(line_no, "unknown tier {!r}; known: {}".format(
+                tier, ", ".join(TIERS)))
+        expected = _require(record, line_no, "expected", str)
+        if expected not in EXPECTED_VERDICTS:
+            _fail(line_no, "unknown expected verdict {!r}; known: {}".format(
+                expected, ", ".join(EXPECTED_VERDICTS)))
+        episode_kind = _require(record, line_no, "kind", str)
+        if episode_kind == "host":
+            _check_host(record, line_no)
+        elif episode_kind == "fleet":
+            _check_fleet(record, line_no)
+        else:
+            _fail(line_no, "unknown episode kind {!r}".format(episode_kind))
+        episodes.append(record)
+
+    if header is None:
+        raise DatasetError("dataset {} is empty".format(path))
+    if not episodes:
+        raise DatasetError("dataset {} has a header but no episodes".format(
+            path))
+    return header, episodes
+
+
+def check_dataset(path=None):
+    """Integrity check for CI: validate the dataset and its version doc.
+
+    On top of :func:`load_dataset`'s structural validation, requires the
+    sibling ``DATASET_VERSION.md`` to mention the header's
+    ``dataset_version`` — the CHANGELOG discipline: you cannot change the
+    dataset without writing down what changed.  Returns a summary dict.
+    """
+    path = path or default_dataset_path()
+    header, episodes = load_dataset(path)
+    version_doc = os.path.join(os.path.dirname(os.path.abspath(path)),
+                               "DATASET_VERSION.md")
+    try:
+        with open(version_doc) as handle:
+            doc = handle.read()
+    except OSError as exc:
+        raise DatasetError(
+            "dataset version doc is required next to the dataset "
+            "({}): {}".format(version_doc, exc))
+    version = header["dataset_version"]
+    if version not in doc:
+        raise DatasetError(
+            "DATASET_VERSION.md has no entry for dataset_version {} — "
+            "add a CHANGELOG entry describing the change".format(version))
+
+    def count(predicate):
+        return sum(1 for episode in episodes if predicate(episode))
+
+    return {
+        "path": path,
+        "schema_version": header["schema_version"],
+        "dataset_version": version,
+        "episodes": len(episodes),
+        "by_kind": {
+            kind: count(lambda e, kind=kind: e["kind"] == kind)
+            for kind in ("host", "fleet")
+        },
+        "by_tier": {
+            tier: count(lambda e, tier=tier: e["tier"] == tier)
+            for tier in TIERS
+        },
+        "by_expected": {
+            verdict: count(lambda e, v=verdict: e["expected"] == v)
+            for verdict in EXPECTED_VERDICTS
+        },
+    }
+
+
+__all__ = [
+    "DatasetError",
+    "EXPECTED_VERDICTS",
+    "SCHEMA_VERSION",
+    "TIERS",
+    "check_dataset",
+    "default_dataset_path",
+    "load_dataset",
+]

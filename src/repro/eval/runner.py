@@ -1,0 +1,204 @@
+"""Execute the labelled dataset and assemble the eval results document.
+
+Episodes run through the shared :mod:`repro.bench.pool` process pool —
+one worker process per episode, crash/timeout retried once — and results
+merge **sorted by episode id**, so the document is byte-identical across
+reruns and across ``--jobs`` values: nothing in it depends on wall time,
+scheduling order, or worker count.  (Operational noise — attempts, wall
+times — goes to the progress stream, never into the document.)
+"""
+
+import time
+import traceback
+
+from repro.bench.pool import DEFAULT_TIMEOUT_S, PoolTask, run_pool
+from repro.eval.dataset import load_dataset
+from repro.eval.score import score_results
+
+#: Document format version, bumped with the result schema.
+DOCUMENT_SCHEMA = "repro-eval/v1"
+
+#: Relative cost estimates for longest-first pool packing.
+_HOST_COST = 0.1
+
+
+def _fleet_cost(episode):
+    scale = 1.0 if episode["tier"] == "quick" else 4.0
+    return scale * episode["hosts"] / 4.0
+
+
+def _host_worker(family, regime, seed, conn):
+    started = time.monotonic()
+    try:
+        from repro.eval.episodes import run_host_episode
+        outcome = run_host_episode(family, regime, seed)
+        conn.send(("ok", {"result": outcome,
+                          "wall_time_s": time.monotonic() - started}))
+    except Exception:
+        conn.send(("error", {"error": traceback.format_exc(limit=20),
+                             "wall_time_s": time.monotonic() - started}))
+
+
+def _fleet_worker(hosts, seed, fault_hosts, fault_kind, quick, gate_dict,
+                  conn):
+    started = time.monotonic()
+    try:
+        from repro.eval.episodes import run_fleet_episode
+        from repro.fleet.rollout import GateConfig
+        outcome = run_fleet_episode(hosts, seed, fault_hosts, fault_kind,
+                                    quick, gate=GateConfig(**gate_dict))
+        conn.send(("ok", {"result": outcome,
+                          "wall_time_s": time.monotonic() - started}))
+    except Exception:
+        conn.send(("error", {"error": traceback.format_exc(limit=20),
+                             "wall_time_s": time.monotonic() - started}))
+
+
+def _task_for(episode, gate):
+    if episode["kind"] == "host":
+        return PoolTask(
+            episode["id"], _host_worker,
+            (episode["family"], episode["regime"], episode["seed"]),
+            cost=_HOST_COST)
+    return PoolTask(
+        episode["id"], _fleet_worker,
+        (episode["hosts"], episode["seed"], episode["fault_hosts"],
+         episode["fault_kind"], episode["tier"] == "quick", gate.to_dict()),
+        cost=_fleet_cost(episode))
+
+
+def select_episodes(episodes, tier="full", ids=None):
+    """The subset of dataset episodes one invocation executes.
+
+    ``tier="quick"`` keeps only quick-tier episodes (the CI smoke set);
+    ``tier="full"`` keeps everything.  ``ids`` further restricts to an
+    explicit set and raises ``ValueError`` on unknown ids so a typo fails
+    loudly instead of silently shrinking coverage.
+    """
+    if tier not in ("quick", "full"):
+        raise ValueError("unknown tier {!r}".format(tier))
+    selected = [episode for episode in episodes
+                if tier == "full" or episode["tier"] == "quick"]
+    if ids is not None:
+        wanted = set(ids)
+        unknown = wanted - {episode["id"] for episode in selected}
+        if unknown:
+            raise ValueError("unknown episode id(s): {}".format(
+                ", ".join(sorted(unknown))))
+        selected = [episode for episode in selected
+                    if episode["id"] in wanted]
+    return selected
+
+
+def _base_result(episode):
+    result = {"id": episode["id"], "kind": episode["kind"],
+              "tier": episode["tier"], "expected": episode["expected"]}
+    if episode["kind"] == "host":
+        result.update({"family": episode["family"],
+                       "regime": episode["regime"],
+                       "seed": episode["seed"]})
+    else:
+        result.update({"hosts": episode["hosts"], "seed": episode["seed"],
+                       "fault_hosts": episode["fault_hosts"],
+                       "fault_kind": episode["fault_kind"]})
+    return result
+
+
+def _merge_outcome(episode, outcome, gate):
+    from repro.eval.episodes import gate_trip_axes
+
+    result = _base_result(episode)
+    if outcome["status"] != "ok":
+        result.update({
+            "verdict": "error",
+            "correct": False,
+            "guardrail": None,
+            "error": (outcome["payload"] or {}).get("error",
+                                                    outcome["status"]),
+        })
+        return result
+    payload = outcome["payload"]["result"]
+    result["verdict"] = payload["verdict"]
+    result["correct"] = payload["verdict"] == episode["expected"]
+    result["guardrail"] = payload["guardrail"]
+    if episode["kind"] == "host":
+        result.update({
+            "property": payload["property"],
+            "action": payload["action"],
+            "checks": payload["checks"],
+            "violations": payload["violations"],
+            "inconclusive": payload["inconclusive"],
+            "actions_dispatched": payload["actions_dispatched"],
+        })
+    else:
+        result.update({
+            "tripped_stage": payload["tripped_stage"],
+            "tripped_axes": payload["tripped_axes"],
+            "stages": payload["stages"],
+            "stage_verdicts": [
+                {"stage": stage["stage"],
+                 "tripped_axes": gate_trip_axes(gate, stage["measurements"])}
+                for stage in payload["stages"]
+            ],
+        })
+    return result
+
+
+def run_episode(episode, gate=None):
+    """Run one dataset episode synchronously, without the process pool.
+
+    Same merged-result shape as one entry of ``run_eval()["episodes"]``.
+    For callers that already live inside a pool worker (benchmarks) —
+    pool children are daemonic and cannot spawn a nested pool.
+    """
+    from repro.eval.episodes import run_fleet_episode, run_host_episode
+    from repro.fleet.rollout import GateConfig
+
+    gate = gate or GateConfig()
+    if episode["kind"] == "host":
+        payload = run_host_episode(episode["family"], episode["regime"],
+                                   episode["seed"])
+    else:
+        payload = run_fleet_episode(
+            episode["hosts"], episode["seed"], episode["fault_hosts"],
+            episode["fault_kind"], episode["tier"] == "quick", gate=gate)
+    outcome = {"id": episode["id"], "status": "ok",
+               "payload": {"result": payload}}
+    return _merge_outcome(episode, outcome, gate)
+
+
+def run_eval(dataset_path=None, tier="full", jobs=1, gate=None, ids=None,
+             progress=None, timeout_s=DEFAULT_TIMEOUT_S):
+    """Run the (selected) dataset; returns the deterministic document.
+
+    ``gate`` is the :class:`~repro.fleet.rollout.GateConfig` under
+    evaluation for fleet episodes (default: the calibrated defaults).
+    """
+    from repro.fleet.rollout import GateConfig
+
+    gate = gate or GateConfig()
+    header, episodes = load_dataset(dataset_path)
+    selected = select_episodes(episodes, tier=tier, ids=ids)
+    if not selected:
+        raise ValueError("selection matched no episodes")
+    by_id = {episode["id"]: episode for episode in selected}
+    tasks = [_task_for(episode, gate) for episode in selected]
+    tasks.sort(key=lambda task: (-task.cost, task.id))
+    outcomes = run_pool(tasks, jobs=jobs, timeout_s=timeout_s,
+                        progress=progress)
+    results = [_merge_outcome(by_id[outcome["id"]], outcome, gate)
+               for outcome in outcomes]  # run_pool sorts by id
+    return {
+        "schema": DOCUMENT_SCHEMA,
+        "dataset": {
+            "schema_version": header["schema_version"],
+            "dataset_version": header["dataset_version"],
+        },
+        "tier": tier,
+        "gate": gate.to_dict(),
+        "episodes": results,
+        "scores": score_results(results),
+    }
+
+
+__all__ = ["DOCUMENT_SCHEMA", "run_episode", "run_eval", "select_episodes"]

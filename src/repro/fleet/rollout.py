@@ -136,13 +136,25 @@ class GateConfig:
     ``min_checks`` is the sample floor: with fewer guardrail checks than
     this in the cohort digest, the gate reports "insufficient data" and
     passes rather than tripping on noise.
+
+    The defaults are **calibrated**, not hand-picked: ``grctl eval
+    calibrate`` sweeps each axis over the labelled episode dataset
+    (``eval/dataset.jsonl``, see ``DATASET_VERSION.md``) and reproduces
+    these exact values.  The violation and inconclusive bounds sit inside
+    their feasible bands (clean cohorts measure ~0 on both axes; drift and
+    corrupt faults push them to 1.0 and 0.875+).  The p95 bound is the
+    log-midpoint of the clean noise ceiling (a 1-host canary cohort
+    against a fleet-wide baseline measures ratios up to ~10x on a clean
+    fleet — a Poisson burst blows the cohort tail) and the stall-fault
+    floor (~25x): the old hand-picked 1.75 sat *inside* the clean noise
+    band and false-tripped roughly half of all clean 16-host rollouts.
     """
 
     __slots__ = ("max_violation_rate_delta", "max_inconclusive_rate_delta",
                  "max_p95_ratio", "min_checks")
 
     def __init__(self, max_violation_rate_delta=0.5,
-                 max_inconclusive_rate_delta=0.5, max_p95_ratio=1.75,
+                 max_inconclusive_rate_delta=0.5, max_p95_ratio=16.0,
                  min_checks=1):
         self.max_violation_rate_delta = float(max_violation_rate_delta)
         self.max_inconclusive_rate_delta = float(max_inconclusive_rate_delta)

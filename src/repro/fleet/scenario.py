@@ -61,21 +61,45 @@ def fleet_versions():
             GuardrailVersion(GUARDRAIL_NAME, 2, FLEET_SPEC_V2))
 
 
-def make_fleet_specs(hosts, seed, rate_ios, fault_hosts=0, fault_start_s=0):
+#: How the faulted cohort misbehaves, one kind per gate axis:
+#: ``corrupt`` blinds the guardrail signal (NaN telemetry -> inconclusive
+#: checks), ``drift`` switches the device regime so the stand-in policy
+#: genuinely false-submits (violations), ``stall`` adds inference latency
+#: to every pick (tail-latency blowup).
+FLEET_FAULT_KINDS = ("corrupt", "drift", "stall")
+
+#: Stall magnitude: with an ~130us clean p95, an 8ms decision stall pushes
+#: the cohort p95 to the digest histogram cap — unambiguously past any
+#: calibrated ratio threshold.
+_STALL_LATENCY_US = 8000
+
+
+def make_fleet_specs(hosts, seed, rate_ios, fault_hosts=0, fault_start_s=0,
+                     fault_kind="corrupt"):
     """Deterministic per-host specs; hosts ``0..fault_hosts-1`` are faulted.
 
     Stage cohorts fill from host id 0 upward, so faulted hosts land in the
     canary cohort and the rollout's first gate sees them.  The fault starts
     at ``fault_start_s`` (normally the baseline boundary) so the pre-rollout
-    baseline stays clean.
+    baseline stays clean.  ``fault_kind`` picks the failure mode (see
+    :data:`FLEET_FAULT_KINDS`).
     """
+    if fault_kind not in FLEET_FAULT_KINDS:
+        raise ValueError("unknown fleet fault kind {!r}; known: {}".format(
+            fault_kind, ", ".join(FLEET_FAULT_KINDS)))
     specs = []
     for host_id in range(hosts):
+        flags = ()
+        drift_s = None
         if host_id < fault_hosts:
-            flags = ("corrupt@false_submit_rate:start={}".format(
-                int(fault_start_s)),)
-        else:
-            flags = ()
+            if fault_kind == "corrupt":
+                flags = ("corrupt@false_submit_rate:start={}".format(
+                    int(fault_start_s)),)
+            elif fault_kind == "stall":
+                flags = ("stall@storage.pick_device:start={},latency_us={}"
+                         .format(int(fault_start_s), _STALL_LATENCY_US),)
+            else:  # drift
+                drift_s = fault_start_s
         specs.append(HostSpec(
             host_id,
             # Distinct, seed-derived stream per host: reruns match exactly,
@@ -84,6 +108,7 @@ def make_fleet_specs(hosts, seed, rate_ios, fault_hosts=0, fault_start_s=0):
             rate_ios=rate_ios,
             fault_flags=flags,
             fault_seed=seed + host_id,
+            drift_s=drift_s,
         ))
     return specs
 
@@ -111,8 +136,14 @@ class FleetScenario:
 
 
 def build_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42,
-                        fault_hosts=0, quick=False):
-    """Construct the canonical rollout scenario without running it."""
+                        fault_hosts=0, quick=False, fault_kind="corrupt",
+                        gate=None):
+    """Construct the canonical rollout scenario without running it.
+
+    ``gate=None`` deploys behind the calibrated :class:`GateConfig`
+    defaults; passing a config overrides them (``repro.eval`` uses a
+    permissive gate here to record every stage's measurements).
+    """
     if hosts < 1:
         raise ValueError("hosts must be >= 1, got {}".format(hosts))
     if quick:
@@ -121,22 +152,21 @@ def build_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42,
         rate_ios, baseline_rounds, bake_rounds = 500, 3, 2
     stage_list = parse_stages(stages, hosts, default_bake=bake_rounds)
     plan = RolloutPlan(stage_list, baseline_rounds=baseline_rounds,
-                       gate=GateConfig(max_violation_rate_delta=0.5,
-                                       max_inconclusive_rate_delta=0.5,
-                                       max_p95_ratio=1.75),
-                       settle_rounds=1)
+                       gate=gate or GateConfig(), settle_rounds=1)
     total_rounds = (plan.baseline_rounds
                     + sum(stage.bake_rounds for stage in plan.stages)
                     + plan.settle_rounds)
     old_version, new_version = fleet_versions()
     specs = make_fleet_specs(hosts, seed, rate_ios,
                              fault_hosts=fault_hosts,
-                             fault_start_s=plan.baseline_rounds)
+                             fault_start_s=plan.baseline_rounds,
+                             fault_kind=fault_kind)
     scenario = {
         "hosts": hosts,
         "stages": stages,
         "seed": seed,
         "fault_hosts": fault_hosts,
+        "fault_kind": fault_kind,
         "rate_ios": rate_ios,
         "quick": bool(quick),
     }
@@ -145,15 +175,18 @@ def build_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42,
 
 
 def run_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42, jobs=1,
-                      fault_hosts=0, quick=False, observer=None):
+                      fault_hosts=0, quick=False, fault_kind="corrupt",
+                      gate=None, observer=None):
     """Run the canonical staged rollout; returns the rollout report dict.
 
     The report is deterministic for ``(hosts, stages, seed, fault_hosts,
-    quick)`` — it contains no wall-clock time and no ``jobs`` field, so the
-    same run sharded differently is byte-identical once serialised.
+    fault_kind, quick, gate)`` — it contains no wall-clock time and no
+    ``jobs`` field, so the same run sharded differently is byte-identical
+    once serialised.
     """
     built = build_fleet_rollout(hosts=hosts, stages=stages, seed=seed,
-                                fault_hosts=fault_hosts, quick=quick)
+                                fault_hosts=fault_hosts, quick=quick,
+                                fault_kind=fault_kind, gate=gate)
     with FleetRunner(built.specs, built.old_version, SECOND,
                      built.total_rounds, jobs=jobs) as runner:
         controller = RolloutController(runner, built.old_version,
@@ -165,6 +198,7 @@ def run_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42, jobs=1,
 
 
 __all__ = [
+    "FLEET_FAULT_KINDS",
     "FLEET_SPEC_V1",
     "FLEET_SPEC_V2",
     "FleetScenario",

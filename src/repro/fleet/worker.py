@@ -36,24 +36,34 @@ class FleetError(Exception):
 
 
 class HostSpec:
-    """Deterministic recipe for one simulated host (picklable)."""
+    """Deterministic recipe for one simulated host (picklable).
+
+    ``drift_s`` schedules the Figure-2 device-regime drift on this host:
+    at that virtual second every replica switches to the post-drift
+    profile, so the shortest-queue stand-in's "predict fast" mapping goes
+    wrong and ``false_submit_rate`` spikes — a *behavioural* failure, as
+    opposed to the telemetry failures ``fault_flags`` inject.
+    """
 
     __slots__ = ("host_id", "seed", "rate_ios", "replicas", "fault_flags",
-                 "fault_seed")
+                 "fault_seed", "drift_s")
 
     def __init__(self, host_id, seed, rate_ios=400, replicas=3,
-                 fault_flags=(), fault_seed=0):
+                 fault_flags=(), fault_seed=0, drift_s=None):
         self.host_id = int(host_id)
         self.seed = int(seed)
         self.rate_ios = int(rate_ios)
         self.replicas = int(replicas)
         self.fault_flags = tuple(fault_flags)
         self.fault_seed = int(fault_seed)
+        self.drift_s = None if drift_s is None else float(drift_s)
 
     def __repr__(self):
-        return "HostSpec(host{}, seed={}{})".format(
+        return "HostSpec(host{}, seed={}{}{})".format(
             self.host_id, self.seed,
-            ", faulted" if self.fault_flags else "")
+            ", faulted" if self.fault_flags else "",
+            ", drift@{:g}s".format(self.drift_s)
+            if self.drift_s is not None else "")
 
 
 class SimulatedHost:
@@ -95,6 +105,12 @@ class SimulatedHost:
             self.injector = FaultInjector(kernel, plan).install()
         else:
             self.injector = None
+        if spec.drift_s is not None:
+            from repro.kernel.storage import DeviceProfile
+            from repro.kernel.storage.trace import schedule_profile_change
+            schedule_profile_change(kernel, devices,
+                                    DeviceProfile.post_drift(),
+                                    int(spec.drift_s * 1e9))
         self._digest = HostDigest(spec.host_id, 0, 0, self.version,
                                   window_ns=round_ns)
         volume.complete_hook.attach(self._on_io_complete,

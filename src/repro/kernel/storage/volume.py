@@ -23,7 +23,7 @@ from repro.sim.units import SECOND, ns_to_us
 class IoRequest:
     __slots__ = ("io_id", "submit_time", "is_write", "size",
                  "device_index", "used_model", "predicted_fast",
-                 "complete_time", "latency_us")
+                 "complete_time", "latency_us", "inference_us")
 
     def __init__(self, io_id, submit_time, is_write=False, size=4096):
         self.io_id = io_id
@@ -35,6 +35,7 @@ class IoRequest:
         self.predicted_fast = None
         self.complete_time = None
         self.latency_us = None
+        self.inference_us = 0.0
 
 
 class PickDecision:
@@ -108,6 +109,12 @@ class ReplicatedVolume:
         request.device_index = decision.index
         request.used_model = decision.used_model
         request.predicted_fast = decision.predicted_fast
+        # Inference happens on the submit path, so its cost is part of the
+        # I/O's end-to-end latency (a stalled decision delays the I/O even
+        # though the device never sees the wait).  Queue dynamics are left
+        # untouched: the decision is still instantaneous in virtual time,
+        # only the reported latency carries the charge.
+        request.inference_us = ns_to_us(decision.inference_ns or 0)
         self.inflight += 1
         if decision.used_model:
             self.model_submits += 1
@@ -124,7 +131,8 @@ class ReplicatedVolume:
     def _on_complete(self, request, service_us):
         now = self.kernel.engine.now
         request.complete_time = now
-        request.latency_us = ns_to_us(now - request.submit_time)
+        request.latency_us = (ns_to_us(now - request.submit_time)
+                              + request.inference_us)
         self.inflight -= 1
         self.completed += 1
         # "Slow" is a property of the device's service (a GC stall), not of

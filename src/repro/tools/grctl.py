@@ -41,7 +41,15 @@ Listing 1).  Subcommands:
   ``fleet --json`` report from stored rows;
 - ``dash``    — the fleet-health dashboard rendered from store queries
   alone: terminal sparklines by default, a self-contained static HTML
-  page with ``--html``.
+  page with ``--html``;
+- ``eval``    — guardrail-quality evaluation over the labelled episode
+  dataset (``eval/dataset.jsonl``): ``run`` executes episodes on a
+  process pool and scores verdicts against labels (optionally gated on
+  a committed baseline, the CI quality gate), ``calibrate`` sweeps
+  :class:`GateConfig` thresholds over recorded rollout measurements and
+  must reproduce the shipped defaults, ``diff`` compares a saved
+  results document to a baseline, and ``--check-dataset`` is the
+  dataset-integrity gate (see ``docs/eval.md``).
 
 Exit codes are uniform across subcommands: **0** success, **1** a check,
 gate, or scenario failed (the thing the subcommand exists to detect),
@@ -68,6 +76,12 @@ Usage::
     python -m repro.tools.grctl serve --store fleet.sqlite --resume
     python -m repro.tools.grctl query report --store fleet.sqlite
     python -m repro.tools.grctl dash --store fleet.sqlite --html dash.html
+    python -m repro.tools.grctl eval run --quick --jobs 2 \
+        --baseline EVAL_baseline.json --out EVAL.json
+    python -m repro.tools.grctl eval calibrate --from EVAL_baseline.json
+    python -m repro.tools.grctl eval diff EVAL.json \
+        --baseline EVAL_baseline.json
+    python -m repro.tools.grctl eval --check-dataset
 """
 
 import argparse
@@ -290,6 +304,43 @@ def _build_parser():
     dash.add_argument("--html", metavar="FILE", default=None,
                       help="write the static HTML page to FILE instead "
                            "of printing the terminal summary")
+
+    ev = sub.add_parser(
+        "eval", help="guardrail-quality eval over the labelled dataset")
+    ev.add_argument("mode", nargs="?", choices=("run", "calibrate", "diff"),
+                    help="run: execute episodes and score them; "
+                         "calibrate: sweep gate thresholds over recorded "
+                         "measurements; diff: compare a saved results "
+                         "document to a baseline")
+    ev.add_argument("document", nargs="?", metavar="EVAL.json",
+                    help="for diff: the results document to compare")
+    ev.add_argument("--check-dataset", action="store_true",
+                    dest="check_dataset",
+                    help="validate the dataset and its version doc, "
+                         "print the summary, and exit (1 on any problem)")
+    ev.add_argument("--dataset", metavar="PATH", default=None,
+                    help="episode dataset "
+                         "(default: the in-repo eval/dataset.jsonl)")
+    ev.add_argument("--quick", action="store_true",
+                    help="run only quick-tier episodes (the CI smoke set)")
+    ev.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes; the document is identical "
+                         "for any value (default 1)")
+    ev.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                    help="per-episode timeout in seconds (default 300)")
+    ev.add_argument("--id", action="append", default=[], dest="ids",
+                    metavar="EPISODE",
+                    help="run only this episode id; repeatable")
+    ev.add_argument("--json", action="store_true", dest="json_out",
+                    help="print the deterministic results document as JSON")
+    ev.add_argument("--out", metavar="FILE", default=None,
+                    help="also write the document to FILE")
+    ev.add_argument("--baseline", metavar="FILE", default=None,
+                    help="for run/diff: gate per-episode correctness "
+                         "against this committed results document")
+    ev.add_argument("--from", dest="from_doc", metavar="FILE", default=None,
+                    help="for calibrate: recorded results document to "
+                         "calibrate from (default: run the full tier now)")
     return parser
 
 
@@ -957,13 +1008,195 @@ def cmd_dash(args, out):
     return 0
 
 
+def _render_eval_scores(out, document):
+    scores = document["scores"]
+    lo, hi = scores["accuracy_ci"]
+    out.write("accuracy {}/{} ({:.1%}, CI {:.1%}-{:.1%})\n".format(
+        scores["correct"], scores["n"], scores["accuracy"], lo, hi))
+    trip = scores["trip_detection"]
+    out.write("trip detection: precision {:.3f}  recall {:.3f}  f1 {:.3f}  "
+              "false trips {}/{}\n".format(
+                  trip["precision"], trip["recall"], trip["f1"],
+                  trip["fp"], trip["fp"] + trip["tn"]))
+    for axis, cell in sorted(scores["fleet_axis_false_trips"].items()):
+        lo, hi = cell["ci"]
+        out.write("  gate axis {:<12} false-trip rate {}/{} "
+                  "(CI {:.1%}-{:.1%})\n".format(
+                      axis, cell["false_trips"], cell["clean_episodes"],
+                      lo, hi))
+    for result in document["episodes"]:
+        if not result["correct"]:
+            out.write("WRONG  {}: expected {}, got {}{}\n".format(
+                result["id"], result["expected"], result["verdict"],
+                "  [" + result["error"].strip().splitlines()[-1] + "]"
+                if result.get("error") else ""))
+
+
+def _render_eval_diff(out, diff):
+    for entry in diff["regressions"]:
+        out.write("REGRESSION  {}: expected {}, got {} "
+                  "(baseline: {})\n".format(
+                      entry["id"], entry["expected"], entry["verdict"],
+                      entry["baseline_verdict"] or "absent"))
+    for entry in diff["improvements"]:
+        out.write("improved    {}: now {} (baseline: {})\n".format(
+            entry["id"], entry["verdict"], entry["baseline_verdict"]))
+    for entry in diff["known_failures"]:
+        out.write("known fail  {}: expected {}, got {}\n".format(
+            entry["id"], entry["expected"], entry["verdict"]))
+    if diff["dataset_version_changed"]:
+        out.write("note: dataset version changed "
+                  "(baseline {})\n".format(
+                      diff["baseline"]["dataset_version"]))
+    out.write("baseline gate: {} ({} episode(s) compared, "
+              "{} regression(s))\n".format(
+                  "ok" if diff["passed"] else "FAIL",
+                  diff["compared"], len(diff["regressions"])))
+
+
+def _render_calibration(out, calibration):
+    for axis, band in sorted(calibration["axes"].items()):
+        band_text = ("band ({:.4g}, {:.4g})".format(
+            band["clean_max"], band["fault_min"])
+            if band["clean_max"] is not None and band["fault_min"] is not None
+            else "band <incomplete data>")
+        out.write("axis {:<12} {}  current {:g} -> {:g}\n"
+                  "  {}\n".format(axis, band_text, band["current"],
+                                  band["recommended"], band["how"]))
+    verification = calibration["verification"]
+    out.write("verification: {} (clean trips {}, missed faults {}) over "
+              "{} fleet episode(s)\n".format(
+                  "ok" if verification["passed"] else "FAIL",
+                  verification["clean_trips"], verification["missed_faults"],
+                  calibration["fleet_episodes"]))
+    out.write("recommended config {} the current one\n".format(
+        "differs from" if calibration["changed"] else "matches"))
+
+
+def _eval_document(args):
+    """Run the eval (progress to stderr, never into the document)."""
+    from repro.eval.dataset import DatasetError
+    from repro.eval.runner import run_eval
+
+    try:
+        return run_eval(
+            dataset_path=args.dataset,
+            tier="quick" if args.quick else "full",
+            jobs=args.jobs, ids=args.ids or None, timeout_s=args.timeout,
+            progress=lambda message: sys.stderr.write(
+                "  " + message + "\n"))
+    except (DatasetError, ValueError) as error:
+        raise UsageError(str(error))
+
+
+def cmd_eval(args, out):
+    # Deferred imports, same policy as trace/bench: `check`/`fmt` stay fast.
+    from repro.eval.calibrate import calibrate
+    from repro.eval.dataset import DatasetError, check_dataset
+    from repro.eval.results import (
+        compare_to_baseline,
+        dumps_document,
+        load_document,
+    )
+
+    if args.check_dataset:
+        try:
+            summary = check_dataset(args.dataset)
+        except DatasetError as error:
+            out.write("dataset: FAIL: {}\n".format(error))
+            return 1
+        out.write("dataset: ok — version {} ({} episode(s): "
+                  "{} host / {} fleet, {} quick-tier)\n".format(
+                      summary["dataset_version"], summary["episodes"],
+                      summary["by_kind"]["host"], summary["by_kind"]["fleet"],
+                      summary["by_tier"]["quick"]))
+        return 0
+    if args.mode is None:
+        raise UsageError("expected a mode (run, calibrate, diff) "
+                         "or --check-dataset")
+    if args.jobs < 1:
+        raise UsageError("--jobs must be >= 1")
+    if args.timeout <= 0:
+        raise UsageError("--timeout must be positive")
+    if args.document is not None and args.mode != "diff":
+        raise UsageError("a document argument only makes sense with diff")
+
+    def load(path, what):
+        try:
+            return load_document(path)
+        except OSError as exc:
+            raise UsageError("cannot read {} {!r}: {}".format(
+                what, path, exc.strerror or exc))
+        except ValueError as exc:
+            raise UsageError(str(exc))
+
+    baseline = (load(args.baseline, "baseline")
+                if args.baseline is not None else None)
+
+    if args.mode == "diff":
+        if args.document is None:
+            raise UsageError("diff needs a results document argument")
+        if baseline is None:
+            raise UsageError("diff needs --baseline")
+        diff = compare_to_baseline(load(args.document, "document"), baseline)
+        if args.json_out:
+            out.write(dumps_document(diff))
+        else:
+            _render_eval_diff(out, diff)
+        return 0 if diff["passed"] else 1
+
+    if args.mode == "calibrate":
+        document = (load(args.from_doc, "document")
+                    if args.from_doc is not None else _eval_document(args))
+        try:
+            calibration = calibrate(document)
+        except ValueError as error:
+            raise UsageError(str(error))
+        if args.out is not None:
+            with open(args.out, "w") as handle:
+                handle.write(dumps_document(calibration))
+        if args.json_out:
+            out.write(dumps_document(calibration))
+        else:
+            _render_calibration(out, calibration)
+        # The thing calibrate gates on: the shipped defaults must be
+        # exactly what the data reproduces, and must separate every
+        # labelled episode.
+        passed = calibration["verification"]["passed"] and \
+            not calibration["changed"]
+        return 0 if passed else 1
+
+    document = _eval_document(args)
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            handle.write(dumps_document(document))
+    diff = (compare_to_baseline(document, baseline)
+            if baseline is not None else None)
+    if args.json_out:
+        out.write(dumps_document(document))
+    else:
+        out.write("eval: {} episode(s), tier {}, dataset v{}\n".format(
+            len(document["episodes"]), document["tier"],
+            document["dataset"]["dataset_version"]))
+        _render_eval_scores(out, document)
+        if args.out is not None:
+            out.write("wrote document to {}\n".format(args.out))
+    if diff is not None:
+        if not args.json_out:
+            _render_eval_diff(out, diff)
+        return 0 if diff["passed"] else 1
+    incorrect = sum(1 for result in document["episodes"]
+                    if not result["correct"])
+    return 1 if incorrect else 0
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
     handler = {"check": cmd_check, "inspect": cmd_inspect, "fmt": cmd_fmt,
                "trace": cmd_trace, "bench": cmd_bench, "faults": cmd_faults,
                "fleet": cmd_fleet, "serve": cmd_serve, "query": cmd_query,
-               "dash": cmd_dash}
+               "dash": cmd_dash, "eval": cmd_eval}
     try:
         return handler[args.command](args, out)
     except UsageError as error:

@@ -1,0 +1,150 @@
+"""Dataset discipline: structure, forced labels, version-doc coupling."""
+
+import json
+
+import pytest
+
+from repro.eval.dataset import (
+    DatasetError,
+    check_dataset,
+    default_dataset_path,
+    load_dataset,
+)
+
+HEADER = {"record": "header", "schema_version": "1.0",
+          "dataset_version": "1.0"}
+HOST_EPISODE = {"record": "episode", "id": "host-P1-clean-s11",
+                "kind": "host", "tier": "quick", "family": "P1",
+                "regime": "clean", "seed": 11, "expected": "allow"}
+FLEET_EPISODE = {"record": "episode", "id": "fleet-quick-clean-s42",
+                 "kind": "fleet", "tier": "quick", "hosts": 4, "seed": 42,
+                 "fault_hosts": 0, "fault_kind": None, "expected": "allow"}
+
+
+def write(tmp_path, records):
+    path = tmp_path / "dataset.jsonl"
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return str(path)
+
+
+def test_committed_dataset_loads_and_checks():
+    header, episodes = load_dataset(default_dataset_path())
+    assert header["dataset_version"]
+    assert len(episodes) >= 60
+    summary = check_dataset()
+    assert summary["episodes"] == len(episodes)
+    assert summary["by_kind"]["host"] + summary["by_kind"]["fleet"] == \
+        len(episodes)
+    # Every family and every fleet fault kind is covered.
+    families = {e["family"] for e in episodes if e["kind"] == "host"}
+    assert families == {"P1", "P2", "P3", "P4", "P5", "P6", "A4"}
+    kinds = {e["fault_kind"] for e in episodes
+             if e["kind"] == "fleet" and e["fault_hosts"]}
+    assert kinds == {"corrupt", "drift", "stall"}
+
+
+def test_round_trip(tmp_path):
+    path = write(tmp_path, [HEADER, HOST_EPISODE, FLEET_EPISODE])
+    header, episodes = load_dataset(path)
+    assert header["schema_version"] == "1.0"
+    assert [e["id"] for e in episodes] == [HOST_EPISODE["id"],
+                                           FLEET_EPISODE["id"]]
+    assert episodes[0] == HOST_EPISODE
+    assert episodes[1] == FLEET_EPISODE
+
+
+def test_header_must_come_first(tmp_path):
+    path = write(tmp_path, [HOST_EPISODE, HEADER])
+    with pytest.raises(DatasetError, match="first record must be the header"):
+        load_dataset(path)
+
+
+def test_incompatible_schema_major_rejected(tmp_path):
+    header = dict(HEADER, schema_version="2.0")
+    path = write(tmp_path, [header, HOST_EPISODE])
+    with pytest.raises(DatasetError, match="incompatible"):
+        load_dataset(path)
+
+
+def test_minor_schema_bump_accepted(tmp_path):
+    header = dict(HEADER, schema_version="1.9")
+    path = write(tmp_path, [header, HOST_EPISODE])
+    load_dataset(path)
+
+
+def test_duplicate_ids_rejected(tmp_path):
+    path = write(tmp_path, [HEADER, HOST_EPISODE, HOST_EPISODE])
+    with pytest.raises(DatasetError, match="duplicate episode id"):
+        load_dataset(path)
+
+
+def test_unknown_fields_rejected(tmp_path):
+    episode = dict(HOST_EPISODE, extra=1)
+    path = write(tmp_path, [HEADER, episode])
+    with pytest.raises(DatasetError, match="unknown host-episode field"):
+        load_dataset(path)
+
+
+def test_labels_are_forced_by_construction(tmp_path):
+    # A clean host episode labelled "trip" is a load error, not data.
+    episode = dict(HOST_EPISODE, expected="trip")
+    path = write(tmp_path, [HEADER, episode])
+    with pytest.raises(DatasetError, match="must expect 'allow'"):
+        load_dataset(path)
+    # A faulted fleet episode labelled "allow" likewise.
+    episode = dict(FLEET_EPISODE, id="x", fault_hosts=1,
+                   fault_kind="corrupt")
+    path = write(tmp_path, [HEADER, episode])
+    with pytest.raises(DatasetError, match="must expect 'trip'"):
+        load_dataset(path)
+
+
+def test_clean_fleet_episode_cannot_name_a_fault_kind(tmp_path):
+    episode = dict(FLEET_EPISODE, fault_kind="corrupt")
+    path = write(tmp_path, [HEADER, episode])
+    with pytest.raises(DatasetError, match="fault_kind null"):
+        load_dataset(path)
+
+
+def test_blank_lines_rejected(tmp_path):
+    path = tmp_path / "dataset.jsonl"
+    path.write_text(json.dumps(HEADER) + "\n\n" + json.dumps(HOST_EPISODE)
+                    + "\n")
+    with pytest.raises(DatasetError, match="blank"):
+        load_dataset(str(path))
+
+
+def test_empty_and_episodeless_datasets_rejected(tmp_path):
+    path = tmp_path / "dataset.jsonl"
+    path.write_text("")
+    with pytest.raises(DatasetError, match="empty"):
+        load_dataset(str(path))
+    with pytest.raises(DatasetError, match="no episodes"):
+        load_dataset(write(tmp_path, [HEADER]))
+
+
+def test_error_names_the_line(tmp_path):
+    path = write(tmp_path, [HEADER, HOST_EPISODE,
+                            dict(HOST_EPISODE, id="x", seed="eleven")])
+    with pytest.raises(DatasetError, match="line 3"):
+        load_dataset(path)
+
+
+def test_check_dataset_requires_version_doc(tmp_path):
+    path = write(tmp_path, [HEADER, HOST_EPISODE])
+    with pytest.raises(DatasetError, match="version doc is required"):
+        check_dataset(path)
+
+
+def test_check_dataset_requires_changelog_entry(tmp_path):
+    path = write(tmp_path, [HEADER, HOST_EPISODE])
+    (tmp_path / "DATASET_VERSION.md").write_text(
+        "# CHANGELOG\n\n- **0.9** — something older\n")
+    with pytest.raises(DatasetError, match="no entry for dataset_version"):
+        check_dataset(path)
+    # Adding the entry satisfies the gate.
+    (tmp_path / "DATASET_VERSION.md").write_text(
+        "# CHANGELOG\n\n- **1.0** — initial\n")
+    summary = check_dataset(path)
+    assert summary["dataset_version"] == "1.0"
+    assert summary["by_tier"]["quick"] == 1

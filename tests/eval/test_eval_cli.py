@@ -1,0 +1,127 @@
+"""grctl eval: exit codes, JSON byte-identity, baseline gating."""
+
+import io
+import json
+
+import pytest
+
+from repro.tools.grctl import main
+
+SUBSET_ARGS = ["--id", "host-P1-clean-s11", "--id", "host-P2-faulty-s11"]
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_check_dataset_passes_on_the_committed_dataset():
+    code, stdout = run(["eval", "--check-dataset"])
+    assert code == 0
+    assert "dataset: ok" in stdout
+    assert "episode(s)" in stdout
+
+
+def test_run_json_is_byte_identical_across_jobs():
+    code_a, json_a = run(["eval", "run", "--quick", "--json", "--jobs", "1"]
+                         + SUBSET_ARGS)
+    code_b, json_b = run(["eval", "run", "--quick", "--json", "--jobs", "2"]
+                         + SUBSET_ARGS)
+    assert code_a == code_b == 0
+    assert json_a == json_b
+    document = json.loads(json_a)
+    assert document["schema"] == "repro-eval/v1"
+    assert "jobs" not in document  # nothing operational in the bytes
+
+
+def test_run_out_writes_the_same_bytes(tmp_path):
+    path = str(tmp_path / "EVAL.json")
+    code, stdout = run(["eval", "run", "--quick", "--json", "--out", path]
+                       + SUBSET_ARGS)
+    assert code == 0
+    with open(path) as handle:
+        assert handle.read() == stdout
+
+
+def test_human_rendering_reports_accuracy():
+    code, stdout = run(["eval", "run", "--quick"] + SUBSET_ARGS)
+    assert code == 0
+    assert "accuracy" in stdout
+    assert "2/2" in stdout
+
+
+@pytest.fixture(scope="module")
+def subset_document(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("eval") / "EVAL.json")
+    code, _ = run(["eval", "run", "--quick", "--json", "--out", path]
+                  + SUBSET_ARGS)
+    assert code == 0
+    return path
+
+
+def test_diff_against_the_committed_baseline(subset_document):
+    code, stdout = run(["eval", "diff", subset_document,
+                        "--baseline", "EVAL_baseline.json"])
+    assert code == 0
+    assert "baseline gate: ok" in stdout
+    assert "0 regression(s)" in stdout
+
+
+def test_diff_fails_on_a_regression(subset_document, tmp_path):
+    with open(subset_document) as handle:
+        document = json.load(handle)
+    document["episodes"][0]["verdict"] = "trip"
+    document["episodes"][0]["correct"] = False
+    doctored = tmp_path / "doctored.json"
+    doctored.write_text(json.dumps(document))
+    code, stdout = run(["eval", "diff", str(doctored),
+                        "--baseline", "EVAL_baseline.json"])
+    assert code == 1
+    assert "REGRESSION" in stdout
+
+
+def test_run_with_baseline_gates_inline(subset_document):
+    code, _ = run(["eval", "run", "--quick",
+                   "--baseline", "EVAL_baseline.json"] + SUBSET_ARGS)
+    assert code == 0
+
+
+def test_calibrate_from_the_committed_baseline():
+    # Offline calibration over the committed document: the shipped
+    # defaults must be self-reproducing, which is exit 0.
+    code, stdout = run(["eval", "calibrate", "--from", "EVAL_baseline.json"])
+    assert code == 0
+    assert "matches the current one" in stdout
+
+
+def test_calibrate_json_shape():
+    code, stdout = run(["eval", "calibrate", "--from", "EVAL_baseline.json",
+                        "--json"])
+    assert code == 0
+    report = json.loads(stdout)
+    assert not report["changed"]
+    assert report["verification"]["passed"]
+    assert set(report["axes"]) == {"violation", "inconclusive", "p95"}
+
+
+class TestUsageErrors:
+    def test_bare_eval_is_a_usage_error(self):
+        assert run(["eval"])[0] == 2
+
+    def test_unknown_episode_id(self):
+        assert run(["eval", "run", "--id", "no-such-episode"])[0] == 2
+
+    def test_bad_jobs(self):
+        assert run(["eval", "run", "--jobs", "0"] + SUBSET_ARGS)[0] == 2
+
+    def test_diff_requires_document_and_baseline(self):
+        assert run(["eval", "diff"])[0] == 2
+        assert run(["eval", "diff", "EVAL_baseline.json"])[0] == 2
+
+    def test_document_positional_only_valid_for_diff(self):
+        assert run(["eval", "run", "EVAL_baseline.json"])[0] == 2
+
+    def test_missing_baseline_file(self):
+        assert run(["eval", "run", "--quick", "--baseline", "nope.json"]
+                   + SUBSET_ARGS)[0] == 2

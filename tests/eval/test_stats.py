@@ -1,0 +1,116 @@
+"""Scorer math: Wilson edges, permutation determinism, confusion counts."""
+
+import math
+
+import pytest
+
+from repro.eval.stats import (
+    paired_permutation_pvalue,
+    precision_recall_f1,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_n_zero_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_n_one_success(self):
+        lo, hi = wilson_interval(1, 1)
+        assert 0.0 < lo < 1.0
+        assert hi == 1.0
+
+    def test_n_one_failure(self):
+        lo, hi = wilson_interval(0, 1)
+        assert lo == 0.0
+        assert 0.0 < hi < 1.0
+
+    def test_zero_of_twelve_matches_hand_computation(self):
+        # The EXPERIMENTS.md cell: 0 false trips on 12 clean seeds.
+        lo, hi = wilson_interval(0, 12)
+        assert lo == 0.0
+        z = 1.96
+        expected_hi = (z * z / 12) / (1.0 + z * z / 12)
+        assert hi == pytest.approx(expected_hi)
+        assert hi == pytest.approx(0.2425, abs=1e-4)
+
+    def test_interval_contains_the_point_estimate(self):
+        for successes, n in ((3, 10), (9, 10), (50, 100), (1, 2)):
+            lo, hi = wilson_interval(successes, n)
+            assert lo < successes / n < hi
+
+    def test_symmetry(self):
+        lo_a, hi_a = wilson_interval(3, 10)
+        lo_b, hi_b = wilson_interval(7, 10)
+        assert lo_a == pytest.approx(1.0 - hi_b)
+        assert hi_a == pytest.approx(1.0 - lo_b)
+
+    def test_narrows_with_n(self):
+        widths = [hi - lo for lo, hi in
+                  (wilson_interval(n // 2, n) for n in (4, 16, 64, 256))]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 5)
+        with pytest.raises(ValueError):
+            wilson_interval(6, 5)
+        with pytest.raises(ValueError):
+            wilson_interval(0, -1)
+
+
+class TestPermutation:
+    def test_deterministic_for_a_seed(self):
+        a = [1, 1, 1, 0, 1, 1]
+        b = [1, 0, 0, 0, 1, 0]
+        p1 = paired_permutation_pvalue(a, b, seed=7)
+        p2 = paired_permutation_pvalue(a, b, seed=7)
+        assert p1 == p2
+
+    def test_seed_changes_the_draw(self):
+        a = [1, 1, 1, 0, 1, 1, 1, 0]
+        b = [1, 0, 0, 0, 1, 0, 0, 0]
+        assert paired_permutation_pvalue(a, b, seed=1) != \
+            paired_permutation_pvalue(a, b, seed=2)
+
+    def test_identical_samples_give_p_one(self):
+        assert paired_permutation_pvalue([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_never_reports_zero(self):
+        # Smoothing: even a maximal difference keeps p >= 1/(rounds+1).
+        p = paired_permutation_pvalue([1] * 20, [0] * 20, rounds=100)
+        assert p >= 1 / 101
+
+    def test_large_consistent_difference_is_significant(self):
+        p = paired_permutation_pvalue([1] * 12, [0] * 12)
+        assert p < 0.05
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_permutation_pvalue([1, 0], [1])
+
+
+class TestPrecisionRecallF1:
+    def test_hand_built_confusion(self):
+        scores = precision_recall_f1(tp=8, fp=2, fn=4)
+        assert scores["precision"] == pytest.approx(0.8)
+        assert scores["recall"] == pytest.approx(8 / 12)
+        expected_f1 = 2 * 0.8 * (8 / 12) / (0.8 + 8 / 12)
+        assert scores["f1"] == pytest.approx(expected_f1)
+
+    def test_zero_denominators(self):
+        assert precision_recall_f1(0, 0, 0) == {
+            "precision": 0.0, "recall": 0.0, "f1": 0.0}
+        assert precision_recall_f1(0, 3, 0)["precision"] == 0.0
+        assert precision_recall_f1(0, 0, 3)["recall"] == 0.0
+
+    def test_perfect(self):
+        scores = precision_recall_f1(10, 0, 0)
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1(-1, 0, 0)
+
+    def test_f1_is_finite(self):
+        assert not math.isnan(precision_recall_f1(1, 1, 1)["f1"])

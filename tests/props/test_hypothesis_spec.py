@@ -6,7 +6,12 @@ from hypothesis import strategies as st
 from repro.core.spec import ast as A
 from repro.core.spec import parse_guardrail
 
-identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+# DSL keywords are not expressible as identifiers (the grammar has no
+# quoting), so the generator must never emit one as a name.
+_KEYWORDS = {"guardrail", "trigger", "rule", "action",
+             "true", "false", "and", "or", "not"}
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True) \
+    .filter(lambda name: name not in _KEYWORDS)
 dotted = st.builds(lambda a, b: "{}.{}".format(a, b), identifiers, identifiers)
 keys = st.one_of(identifiers, dotted)
 numbers = st.one_of(

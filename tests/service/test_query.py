@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.fleet.rollout import GateConfig
 from repro.service.loop import resume, serve_rollout, serve_soak
 from repro.service.query import (
     QUERIES,
@@ -74,7 +75,7 @@ def test_gate_margins_show_the_tripped_axis(faulted):
     assert gate["passed"] is False
     assert gate["margins"]["inconclusive_rate_delta"] < 0  # the trip
     assert gate["margins"]["violation_rate_delta"] > 0  # headroom
-    assert gates["gate"]["max_p95_ratio"] == 1.75
+    assert gates["gate"]["max_p95_ratio"] == GateConfig().max_p95_ratio
 
 
 def test_rollback_timeline_tells_the_story(faulted):

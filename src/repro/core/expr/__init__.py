@@ -1,5 +1,19 @@
-"""Rule-expression compilation and evaluation."""
+"""Rule-expression compilation and evaluation.
+
+Two backends share one source language: the closure compiler
+(:func:`compile_expression`, the reference implementation) and the
+bytecode VM (:func:`compile_to_vm`), which adds a columnar batch
+evaluator (:func:`eval_columns`).
+"""
 
 from repro.core.expr.compile import EvalContext, compile_expression, static_cost
+from repro.core.expr.vm import VmProgram, compile_to_vm, eval_columns
 
-__all__ = ["EvalContext", "compile_expression", "static_cost"]
+__all__ = [
+    "EvalContext",
+    "VmProgram",
+    "compile_expression",
+    "compile_to_vm",
+    "eval_columns",
+    "static_cost",
+]

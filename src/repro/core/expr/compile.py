@@ -76,17 +76,23 @@ def _is_constant(expr):
     return False
 
 
-def _fold_constant(expr):
+def fold_constant_value(expr):
     """Evaluate a constant subexpression once, at compile time.
 
-    The folded program returns the precomputed value and charges exactly
-    the ops the unfolded tree would have charged, so overhead accounting —
-    and with it every deterministic benchmark metric — is bit-identical.
+    Returns ``(value, ops)`` where ``ops`` is exactly what the unfolded
+    tree would have charged at runtime.  Both expression backends (closure
+    and bytecode VM) fold through this single helper, so a folded constant
+    is one shared value/ops pair — overhead accounting, and with it every
+    deterministic benchmark metric, stays bit-identical across lanes.
     """
     program = _compile_node(expr)
     probe = EvalContext(None)
     value = program(probe)
-    ops = probe.ops
+    return value, probe.ops
+
+
+def _fold_constant(expr):
+    value, ops = fold_constant_value(expr)
 
     def folded(ctx, _value=value, _ops=ops):
         ctx.ops += _ops  # charge() inlined: this closure is the whole rule
@@ -158,7 +164,11 @@ def _compile_node(expr):
             def program(ctx, _operand=operand):
                 value = _operand(ctx)
                 ctx.charge()
-                return None if value is None else -value
+                if value is None or not isinstance(value, (int, float)):
+                    # Crash-free semantics (§4.2): negating a type-confused
+                    # operand reads as missing data, never as a TypeError.
+                    return None
+                return -value
 
             return program
         if expr.op == "!":
@@ -199,6 +209,39 @@ _ARITHMETIC = {
 _COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
 
 
+def fusion_params(expr):
+    """Parameters for the fused ``LOAD(k) <cmp> const`` rule shape, or None.
+
+    Returns ``(key, const, op, pre, post, flipped, ordered_cmp,
+    const_dead)`` when ``expr`` is a threshold comparison between a LOAD
+    and a constant (either operand order).  Both backends — the fused
+    closure below and the bytecode VM's FUSED opcode — consume this one
+    helper, so the charge split around the (possibly fault-injected)
+    ``store.load`` is identical by construction.
+    """
+    if not isinstance(expr, A.BinaryOp) or expr.op not in _COMPARISONS:
+        return None
+    if isinstance(expr.left, A.Load) and _is_constant(expr.right):
+        load, const_expr, flipped = expr.left, expr.right, False
+    elif isinstance(expr.right, A.Load) and _is_constant(expr.left):
+        load, const_expr, flipped = expr.right, expr.left, True
+    else:
+        return None
+
+    const, const_ops = fold_constant_value(const_expr)
+    # Generic-path charge split around the store load: LOAD charges 2
+    # before touching the store; the constant's ops and the comparison's
+    # own op land after (or before, when the constant is the left operand).
+    pre = 2 if not flipped else const_ops + 2
+    post = const_ops + 1 if not flipped else 1
+    ordered_cmp = expr.op not in ("==", "!=")
+    # Ordering comparisons yield None (missing data) for non-numeric
+    # operands; a non-numeric constant can never produce a result.
+    const_dead = ordered_cmp and not isinstance(const, (int, float))
+    return (load.key, const, expr.op, pre, post, flipped, ordered_cmp,
+            const_dead)
+
+
 def _try_fuse_comparison(expr):
     """Fuse ``LOAD(k) <cmp> const`` (either order) into one closure.
 
@@ -209,27 +252,11 @@ def _try_fuse_comparison(expr):
     the ops charged before a (possibly fault-injected) ``store.load`` that
     raises mid-rule.
     """
-    op = expr.op
-    if isinstance(expr.left, A.Load) and _is_constant(expr.right):
-        load, const_expr, flipped = expr.left, expr.right, False
-    elif isinstance(expr.right, A.Load) and _is_constant(expr.left):
-        load, const_expr, flipped = expr.right, expr.left, True
-    else:
+    params = fusion_params(expr)
+    if params is None:
         return None
-
-    probe = EvalContext(None)
-    const = compile_expression(const_expr)(probe)
-    # Generic-path charge split around the store load: LOAD charges 2
-    # before touching the store; the constant's ops and the comparison's
-    # own op land after (or before, when the constant is the left operand).
-    pre = 2 if not flipped else probe.ops + 2
-    post = probe.ops + 1 if not flipped else 1
-    key = load.key
+    key, const, op, pre, post, flipped, ordered_cmp, const_dead = params
     fn = _ARITHMETIC[op]
-    ordered_cmp = op not in ("==", "!=")
-    # Ordering comparisons yield None (missing data) for non-numeric
-    # operands; a non-numeric constant can never produce a result.
-    const_dead = ordered_cmp and not isinstance(const, (int, float))
 
     def program(ctx, _key=key, _const=const, _fn=fn, _pre=pre, _post=post,
                 _flipped=flipped, _ordered=ordered_cmp, _dead=const_dead):
@@ -299,6 +326,10 @@ def _compile_binary(expr):
             ctx.charge()
             if a is None or b is None:
                 return None
+            # Crash-free semantics (§4.2): a type-confused operand reads as
+            # missing data — "str" / 2 must not escape as a TypeError.
+            if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+                return None
             if b == 0:
                 return None  # division by zero is "no data", not a crash
             return a / b
@@ -349,7 +380,9 @@ def _compile_call(expr):
         def program(ctx, _arg=args[0]):
             value = _arg(ctx)
             ctx.charge()
-            return None if value is None else abs(value)
+            if value is None or not isinstance(value, (int, float)):
+                return None  # §4.2: abs of a type-confused operand
+            return abs(value)
 
         return program
 
@@ -361,7 +394,9 @@ def _compile_call(expr):
         def program(ctx, _args=args, _reduce=reducer):
             values = [a(ctx) for a in _args]
             ctx.charge(len(values))
-            if any(v is None for v in values):
+            if any(not isinstance(v, (int, float)) for v in values):
+                # Covers None and §4.2 type confusion: min(5, "str") must
+                # not escape as an unorderable-types TypeError.
                 return None
             return _reduce(values)
 
@@ -373,8 +408,10 @@ def _compile_call(expr):
         def program(ctx, _args=args):
             value, lo, hi = (a(ctx) for a in _args)
             ctx.charge(2)
-            if value is None or lo is None or hi is None:
-                return None
+            if (not isinstance(value, (int, float))
+                    or not isinstance(lo, (int, float))
+                    or not isinstance(hi, (int, float))):
+                return None  # covers None and §4.2 type confusion
             return max(lo, min(hi, value))
 
         return program

@@ -1,0 +1,577 @@
+"""Bytecode VM for guardrail rule expressions.
+
+``compile_to_vm`` lowers a DSL AST to a flat bytecode program — a tuple of
+``(opcode, operand)`` pairs — executed by a small stack interpreter.  The
+VM is a second backend for the same source language as the closure
+compiler in :mod:`repro.core.expr.compile`, and it must be *bit-identical*
+to it in every observable way:
+
+- **Values**, including the None/NaN missing-data matrix, short-circuit
+  results, and the §4.2 crash-free rule that type-confused operands read
+  as missing data.
+- **Charged ops** (``ctx.ops``), including the *partial* charge left
+  behind when a fault-injected ``store.load`` raises mid-rule: every
+  opcode charges at the same point in evaluation order as the closure it
+  mirrors.
+- **Structural decisions**: whole-constant expressions fold to a single
+  ``CONST`` op via the shared :func:`fold_constant_value` helper, and the
+  dominant ``LOAD(k) <cmp> const`` rule shape lowers to one ``FUSED`` op
+  with the exact pre/post charge split of the fused closure
+  (:func:`fusion_params` is shared too).
+
+The closure path stays the reference implementation; the differential
+fuzz harness (``tests/core/test_vm_differential.py``) asserts parity on
+randomly generated expressions and store states.
+
+On top of the scalar interpreter, :func:`eval_columns` evaluates one
+program across *columns* — numpy arrays with one row per host/window/event
+— amortizing interpreter dispatch over the whole batch.  Columnar
+semantics use ``NaN`` as the missing-data sentinel and are defined for
+numeric, finite data (the fleet's telemetry columns); programs touching
+string constants refuse to run columnar rather than silently diverge.
+"""
+
+import numpy as np
+
+from repro.core.errors import CompileError
+from repro.core.spec import ast as A
+from repro.core.expr.compile import (
+    _ARITHMETIC,
+    _LITERALS,
+    _is_constant,
+    _require_arity,
+    fold_constant_value,
+    fusion_params,
+)
+
+# -- opcodes ----------------------------------------------------------------
+#
+# Stack machine, loop-free by construction (the only jumps are the
+# forward short-circuit jumps of && / ||), so program length bounds
+# execution and the verifier's static budget argument carries over.
+
+OP_CONST = 0      # arg (value, ops): charge ops, push value
+OP_NAME = 1       # arg identifier: charge 1, push resolved free name
+OP_LOAD = 2       # arg key: charge 2, push store value (None/NaN guarded)
+OP_NEG = 3        # charge 1, numeric-guarded negate
+OP_NOT = 4        # charge 1, logical not (None-guarded)
+OP_ARITH = 5      # arg (op, fn): + - * < <= > >= — None+numeric guarded
+OP_EQ = 6         # arg (op, fn): == != — None guarded only
+OP_DIV = 7        # charge 1; None, numeric and divide-by-zero guarded
+OP_AND = 8        # arg jump target: charge 1; TOS is False -> jump
+OP_AND_JOIN = 9   # pop b, a; combine with && semantics
+OP_OR = 10        # arg jump target: charge 1; TOS truthy -> push True, jump
+OP_OR_JOIN = 11   # pop b, a; combine with || semantics
+OP_ABS = 12       # charge 1, numeric-guarded abs
+OP_MINMAX = 13    # arg (n, name): pop n values, charge n, reduce
+OP_CLAMP = 14     # pop hi, lo, value; charge 2; max(lo, min(hi, value))
+OP_FUSED = 15     # arg fusion_params tuple: the threshold rule shape
+
+_OP_NAMES = {
+    OP_CONST: "CONST", OP_NAME: "NAME", OP_LOAD: "LOAD", OP_NEG: "NEG",
+    OP_NOT: "NOT", OP_ARITH: "ARITH", OP_EQ: "EQ", OP_DIV: "DIV",
+    OP_AND: "AND", OP_AND_JOIN: "AND_JOIN", OP_OR: "OR",
+    OP_OR_JOIN: "OR_JOIN", OP_ABS: "ABS", OP_MINMAX: "MINMAX",
+    OP_CLAMP: "CLAMP", OP_FUSED: "FUSED",
+}
+
+_NUMERIC = (int, float)
+
+
+class VmProgram:
+    """A compiled bytecode program; callable like a closure program."""
+
+    __slots__ = ("code",)
+
+    def __init__(self, code):
+        self.code = tuple(code)
+
+    def __call__(self, ctx):
+        return execute(self.code, ctx)
+
+    def __len__(self):
+        return len(self.code)
+
+    @property
+    def load_keys(self):
+        """Feature-store keys this program reads, in evaluation order."""
+        keys = []
+        for op, arg in self.code:
+            if op == OP_LOAD:
+                keys.append(arg)
+            elif op == OP_FUSED:
+                keys.append(arg[0])
+        return keys
+
+    @property
+    def columnar_safe(self):
+        """True when the program is defined over numeric columns."""
+        for op, arg in self.code:
+            if op == OP_CONST and not isinstance(arg[0], _NUMERIC) \
+                    and arg[0] is not None:
+                return False
+            if op == OP_FUSED and not isinstance(arg[1], _NUMERIC) \
+                    and arg[1] is not None:
+                return False
+        return True
+
+    def disasm(self):
+        """Human-readable listing, one instruction per line."""
+        lines = []
+        for index, (op, arg) in enumerate(self.code):
+            name = _OP_NAMES[op]
+            if op in (OP_ARITH, OP_EQ):
+                detail = arg[0]
+            elif op == OP_CONST:
+                detail = "{!r} (ops={})".format(arg[0], arg[1])
+            elif op == OP_FUSED:
+                key, const, cmp_op = arg[0], arg[1], arg[2]
+                detail = "LOAD({}) {} {!r} (pre={}, post={})".format(
+                    key, cmp_op, const, arg[3], arg[4])
+            elif op == OP_MINMAX:
+                detail = "{} n={}".format(arg[1], arg[0])
+            elif arg is None:
+                detail = ""
+            else:
+                detail = repr(arg)
+            lines.append("{:>3}  {:<9} {}".format(index, name, detail))
+        return lines
+
+
+def compile_to_vm(expr):
+    """Compile an AST expression into a :class:`VmProgram`.
+
+    Mirrors :func:`compile_expression` decision-for-decision so values and
+    charged ops agree with the closure backend on every input.
+    """
+    if _is_constant(expr) and not isinstance(expr, _LITERALS):
+        value, ops = fold_constant_value(expr)
+        return VmProgram([(OP_CONST, (value, ops))])
+    code = []
+    _emit(expr, code)
+    return VmProgram(code)
+
+
+def _emit(expr, code):
+    if _is_constant(expr):
+        if isinstance(expr, _LITERALS):
+            code.append((OP_CONST, (expr.value, 1)))
+        else:
+            # Nested constant subtree: fold exactly like the closure
+            # backend, charging the unfolded tree's ops.
+            code.append((OP_CONST, fold_constant_value(expr)))
+        return
+    if isinstance(expr, A.Name):
+        code.append((OP_NAME, expr.identifier))
+        return
+    if isinstance(expr, A.Load):
+        code.append((OP_LOAD, expr.key))
+        return
+    if isinstance(expr, A.UnaryOp):
+        _emit(expr.operand, code)
+        if expr.op == "-":
+            code.append((OP_NEG, None))
+        elif expr.op == "!":
+            code.append((OP_NOT, None))
+        else:
+            raise CompileError("unknown unary operator {!r}".format(expr.op))
+        return
+    if isinstance(expr, A.BinaryOp):
+        _emit_binary(expr, code)
+        return
+    if isinstance(expr, A.Call):
+        _emit_call(expr, code)
+        return
+    if isinstance(expr, A.Aggregate):
+        raise CompileError(
+            "aggregate {} must be lowered by the guardrail compiler before "
+            "expression compilation".format(expr.to_source())
+        )
+    raise CompileError("cannot compile expression node {!r}".format(expr))
+
+
+def _emit_binary(expr, code):
+    params = fusion_params(expr)
+    if params is not None:
+        code.append((OP_FUSED, params))
+        return
+    op = expr.op
+    if op in ("&&", "||"):
+        _emit(expr.left, code)
+        test_index = len(code)
+        code.append(None)  # patched below with the jump target
+        _emit(expr.right, code)
+        code.append((OP_AND_JOIN if op == "&&" else OP_OR_JOIN, None))
+        # Jump target = the instruction after the JOIN: on short-circuit
+        # the result is already on the stack and the JOIN must not run.
+        code[test_index] = (OP_AND if op == "&&" else OP_OR, len(code))
+        return
+    _emit(expr.left, code)
+    _emit(expr.right, code)
+    if op == "/":
+        code.append((OP_DIV, None))
+    elif op in ("==", "!="):
+        code.append((OP_EQ, (op, _ARITHMETIC[op])))
+    elif op in _ARITHMETIC:
+        code.append((OP_ARITH, (op, _ARITHMETIC[op])))
+    else:
+        raise CompileError("unknown binary operator {!r}".format(op))
+
+
+def _emit_call(expr, code):
+    # Argument-first order mirrors _compile_call: a bad argument raises
+    # before the arity check, with the same CompileError either way.
+    for arg in expr.args:
+        _emit(arg, code)
+    name = expr.function
+    if name == "abs":
+        _require_arity(expr, 1)
+        code.append((OP_ABS, None))
+    elif name in ("min", "max"):
+        if len(expr.args) < 2:
+            raise CompileError("{}() needs at least 2 arguments".format(name))
+        code.append((OP_MINMAX, (len(expr.args), name)))
+    elif name == "clamp":
+        _require_arity(expr, 3)
+        code.append((OP_CLAMP, None))
+    else:
+        raise CompileError("unknown builtin {!r}".format(name))
+
+
+# -- scalar interpreter -----------------------------------------------------
+
+
+def execute(code, ctx):
+    """Run a bytecode program against an :class:`EvalContext`.
+
+    ``ctx.ops`` is charged incrementally at the same evaluation points as
+    the closure backend, so a ``store.load`` that raises mid-program
+    leaves exactly the partial charge the closure would have.
+    """
+    stack = []
+    push = stack.append
+    pop = stack.pop
+    load = ctx.store.load if ctx.store is not None else None
+    pc = 0
+    end = len(code)
+    # Dispatch chain ordered by opcode frequency in real rule programs:
+    # loads and constants dominate, then arithmetic/comparisons.
+    while pc < end:
+        op, arg = code[pc]
+        pc += 1
+        if op == OP_LOAD:
+            ctx.ops += 2
+            value = load(arg)
+            if value is None or (isinstance(value, float) and value != value):
+                push(None)
+            else:
+                push(value)
+        elif op == OP_CONST:
+            ctx.ops += arg[1]
+            push(arg[0])
+        elif op == OP_ARITH:
+            b = pop()
+            a = pop()
+            ctx.ops += 1
+            if a is None or b is None:
+                push(None)
+            elif not isinstance(a, _NUMERIC) or not isinstance(b, _NUMERIC):
+                push(None)  # §4.2 crash-free: type confusion = missing data
+            else:
+                push(arg[1](a, b))
+        elif op == OP_FUSED:
+            key, const, _cmp, pre, post, flipped, ordered, dead = arg
+            ctx.ops += pre
+            value = load(key)
+            ctx.ops += post
+            if value is None or const is None or dead:
+                push(None)
+            elif isinstance(value, float) and value != value:
+                push(None)  # NaN load reads as missing data
+            elif ordered and not isinstance(value, _NUMERIC):
+                push(None)
+            else:
+                fn = _ARITHMETIC[_cmp]
+                push(fn(const, value) if flipped else fn(value, const))
+        elif op == OP_AND:
+            ctx.ops += 1
+            if stack[-1] is False:
+                pc = arg
+        elif op == OP_AND_JOIN:
+            b = pop()
+            a = pop()
+            if b is False:
+                push(False)
+            elif a is None or b is None:
+                push(None)
+            else:
+                push(bool(a) and bool(b))
+        elif op == OP_OR:
+            ctx.ops += 1
+            a = stack[-1]
+            if a is not None and bool(a):
+                stack[-1] = True
+                pc = arg
+        elif op == OP_OR_JOIN:
+            b = pop()
+            a = pop()
+            if b is not None and bool(b):
+                push(True)
+            elif a is None or b is None:
+                push(None)
+            else:
+                push(False)
+        elif op == OP_EQ:
+            b = pop()
+            a = pop()
+            ctx.ops += 1
+            push(None if a is None or b is None else arg[1](a, b))
+        elif op == OP_DIV:
+            b = pop()
+            a = pop()
+            ctx.ops += 1
+            if a is None or b is None:
+                push(None)
+            elif not isinstance(a, _NUMERIC) or not isinstance(b, _NUMERIC):
+                push(None)
+            elif b == 0:
+                push(None)  # division by zero is "no data", not a crash
+            else:
+                push(a / b)
+        elif op == OP_NAME:
+            ctx.ops += 1
+            value = ctx.resolve(arg)
+            if value is None or (isinstance(value, float) and value != value):
+                push(None)
+            else:
+                push(value)
+        elif op == OP_NEG:
+            ctx.ops += 1
+            value = pop()
+            push(-value if isinstance(value, _NUMERIC) else None)
+        elif op == OP_NOT:
+            ctx.ops += 1
+            value = pop()
+            push(None if value is None else (not value))
+        elif op == OP_ABS:
+            ctx.ops += 1
+            value = pop()
+            push(abs(value) if isinstance(value, _NUMERIC) else None)
+        elif op == OP_MINMAX:
+            count, name = arg
+            values = stack[-count:]
+            del stack[-count:]
+            ctx.ops += count
+            if any(not isinstance(v, _NUMERIC) for v in values):
+                push(None)
+            else:
+                push(min(values) if name == "min" else max(values))
+        elif op == OP_CLAMP:
+            hi = pop()
+            lo = pop()
+            value = pop()
+            ctx.ops += 2
+            if (not isinstance(value, _NUMERIC)
+                    or not isinstance(lo, _NUMERIC)
+                    or not isinstance(hi, _NUMERIC)):
+                push(None)
+            else:
+                push(max(lo, min(hi, value)))
+        else:  # pragma: no cover - emitter never produces unknown opcodes
+            raise RuntimeError("unknown opcode {}".format(op))
+    return stack[-1]
+
+
+# -- columnar evaluator -----------------------------------------------------
+
+
+class ColumnarError(ValueError):
+    """Program or columns outside the columnar lane's numeric contract."""
+
+
+def eval_columns(program, n, loads=None, names=None):
+    """Evaluate ``program`` over columns of ``n`` rows at once.
+
+    ``loads`` maps feature-store keys to float64 arrays (or scalars) and
+    ``names`` maps free identifiers likewise; ``NaN`` is the missing-data
+    sentinel on both input and output, mirroring the scalar lane's
+    ``None``.  Returns ``(values, ops)``: a float64 array where boolean
+    results are ``1.0``/``0.0`` and inconclusive rows are ``NaN``, and an
+    int64 array of per-row charged ops (short-circuit skips are masked per
+    row, exactly like scalar execution).
+
+    The lane is defined for numeric, finite data — the shape of fleet
+    telemetry.  Programs with string constants raise :class:`ColumnarError`
+    instead of diverging silently from scalar semantics.
+    """
+    if not program.columnar_safe:
+        raise ColumnarError(
+            "program uses non-numeric constants; columnar lane is numeric-only")
+    n = int(n)
+    values, _is_bool, ops = _eval_span(
+        program.code, 0, len(program.code), loads or {}, names or {}, n)
+    return values, ops
+
+
+def _column(mapping, key, n):
+    value = mapping.get(key)
+    if value is None:
+        return np.full(n, np.nan)
+    if isinstance(value, _NUMERIC):
+        return np.full(n, float(value))
+    column = np.asarray(value, dtype=np.float64)
+    if column.shape != (n,):
+        raise ColumnarError(
+            "column {!r} has shape {}, expected ({},)".format(
+                key, column.shape, n))
+    return column
+
+
+def _const_column(value, n):
+    if value is None:
+        return np.full(n, np.nan)
+    return np.full(n, float(value))
+
+
+def _eval_span(code, lo, hi, loads, names, n):
+    """Evaluate ``code[lo:hi]``; returns (top value, is_bool, ops array)."""
+    ops = np.zeros(n, dtype=np.int64)
+    stack = []
+    pc = lo
+    while pc < hi:
+        op, arg = code[pc]
+        pc += 1
+        if op == OP_FUSED:
+            key, const, cmp_op, pre, post, _flipped, _ordered, dead = arg
+            ops += pre + post
+            column = _column(loads, key, n)
+            if const is None or dead:
+                stack.append((np.full(n, np.nan), True))
+            else:
+                fn = _ARITHMETIC[cmp_op]
+                with np.errstate(invalid="ignore"):
+                    # fusion_params already baked the operand order into
+                    # pre/post; value-vs-const order only matters for the
+                    # comparison itself.
+                    if _flipped:
+                        raw = fn(float(const), column)
+                    else:
+                        raw = fn(column, float(const))
+                result = raw.astype(np.float64)
+                result[np.isnan(column)] = np.nan
+                stack.append((result, True))
+        elif op == OP_LOAD:
+            ops += 2
+            stack.append((_column(loads, arg, n), False))
+        elif op == OP_CONST:
+            value, charged = arg
+            ops += charged
+            stack.append((_const_column(value, n), isinstance(value, bool)))
+        elif op == OP_NAME:
+            ops += 1
+            stack.append((_column(names, arg, n), False))
+        elif op == OP_ARITH:
+            b, _ = stack.pop()
+            a, _ = stack.pop()
+            ops += 1
+            name, fn = arg
+            if name in ("<", "<=", ">", ">="):
+                with np.errstate(invalid="ignore"):
+                    raw = fn(a, b).astype(np.float64)
+                raw[np.isnan(a) | np.isnan(b)] = np.nan
+                stack.append((raw, True))
+            else:
+                with np.errstate(invalid="ignore", over="ignore"):
+                    stack.append((fn(a, b), False))
+        elif op == OP_EQ:
+            b, _ = stack.pop()
+            a, _ = stack.pop()
+            ops += 1
+            name, fn = arg
+            raw = fn(a, b).astype(np.float64)
+            raw[np.isnan(a) | np.isnan(b)] = np.nan
+            stack.append((raw, True))
+        elif op == OP_DIV:
+            b, _ = stack.pop()
+            a, _ = stack.pop()
+            ops += 1
+            dead = np.isnan(a) | np.isnan(b) | (b == 0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                raw = a / np.where(b == 0, 1.0, b)
+            raw = np.where(dead, np.nan, raw)
+            stack.append((raw, False))
+        elif op == OP_AND:
+            a, a_bool = stack.pop()
+            ops += 1
+            b, b_bool, b_ops = _eval_span(code, pc, arg - 1, loads, names, n)
+            a_nan = np.isnan(a)
+            b_nan = np.isnan(b)
+            # Scalar short-circuits only on a literal False (`a is False`),
+            # never on a numeric zero — the bool tag preserves that split.
+            a_false = (a == 0) & ~a_nan if a_bool else np.zeros(n, dtype=bool)
+            ops += np.where(a_false, 0, b_ops)
+            b_false = (b == 0) & ~b_nan if b_bool else np.zeros(n, dtype=bool)
+            false_mask = a_false | b_false
+            truthy = ~a_nan & (a != 0) & ~b_nan & (b != 0)
+            result = truthy.astype(np.float64)
+            result[(a_nan | b_nan) & ~false_mask] = np.nan
+            stack.append((result, True))
+            pc = arg
+        elif op == OP_OR:
+            a, _a_bool = stack.pop()
+            ops += 1
+            b, _b_bool, b_ops = _eval_span(code, pc, arg - 1, loads, names, n)
+            a_nan = np.isnan(a)
+            b_nan = np.isnan(b)
+            a_true = ~a_nan & (a != 0)
+            ops += np.where(a_true, 0, b_ops)
+            true_mask = a_true | (~b_nan & (b != 0))
+            result = true_mask.astype(np.float64)
+            result[(a_nan | b_nan) & ~true_mask] = np.nan
+            stack.append((result, True))
+            pc = arg
+        elif op == OP_NEG:
+            a, _ = stack.pop()
+            ops += 1
+            stack.append((-a, False))
+        elif op == OP_NOT:
+            a, _ = stack.pop()
+            ops += 1
+            raw = (a == 0).astype(np.float64)
+            raw[np.isnan(a)] = np.nan
+            stack.append((raw, True))
+        elif op == OP_ABS:
+            a, _ = stack.pop()
+            ops += 1
+            stack.append((np.abs(a), False))
+        elif op == OP_MINMAX:
+            count, name = arg
+            columns = [entry[0] for entry in stack[-count:]]
+            del stack[-count:]
+            ops += count
+            reducer = np.minimum if name == "min" else np.maximum
+            result = columns[0]
+            for column in columns[1:]:
+                result = reducer(result, column)  # NaN propagates
+            stack.append((result, False))
+        elif op == OP_CLAMP:
+            hi_col, _ = stack.pop()
+            lo_col, _ = stack.pop()
+            value, _ = stack.pop()
+            ops += 2
+            stack.append(
+                (np.maximum(lo_col, np.minimum(hi_col, value)), False))
+        else:  # pragma: no cover - JOIN ops are skipped via the jump
+            raise RuntimeError(
+                "unexpected opcode {} in columnar span".format(op))
+    top_value, top_bool = stack[-1]
+    return top_value, top_bool, ops
+
+
+__all__ = [
+    "ColumnarError",
+    "VmProgram",
+    "compile_to_vm",
+    "eval_columns",
+    "execute",
+]

@@ -38,6 +38,19 @@ class _DerivedKey:
     def update(self, value, now):
         self.estimator.update(value)
 
+    def update_batch(self, values, times):
+        """Feed a batch of saves; default is exact sequential replay.
+
+        Running-float estimators (moving average, EWMA, windowed mean,
+        P2 quantile) are rounding-order-sensitive, so the default replays
+        events one by one — state stays bit-identical to scalar saves.
+        Subclasses with order-free state override this with a vector path.
+        """
+        update = self.update
+        for value, now in zip(values, times):
+            # float() mirrors the scalar save path's conversion exactly.
+            update(float(value), now)
+
     def value(self, now):
         return self._extract(self.estimator, now)
 
@@ -58,12 +71,26 @@ class _DerivedWindowedMean(_DerivedKey):
 class _DerivedRate(_DerivedKey):
     """Rate aggregates need timestamps, not just values."""
 
-    def __init__(self, name, source, window, predicate):
+    def __init__(self, name, source, window, predicate=None):
         super().__init__(name, source, RateCounter(window), None)
-        self._predicate = predicate
+        # The default predicate (truthiness of a 0/1 event value) is
+        # order-free integer math, so batches take the vector lane below.
+        self._default_predicate = predicate is None
+        self._predicate = predicate or (lambda v: bool(v))
 
     def update(self, value, now):
         self.estimator.observe(now, self._predicate(value))
+
+    def update_batch(self, values, times):
+        if self._default_predicate:
+            # bool(v) == (v != 0) for numeric v (NaN is truthy either way);
+            # the counter's batched observe is exact for monotone times.
+            self.estimator.observe_batch(times, values)
+            return
+        observe = self.estimator.observe
+        predicate = self._predicate
+        for value, now in zip(values, times):
+            observe(now, predicate(float(value)))
 
     def value(self, now):
         return self.estimator.rate(now)
@@ -82,6 +109,7 @@ class FeatureStore:
         self._versions = {}     # key -> monotonically increasing int
         self._subscribers = []  # callbacks (key, value, now)
         self._valid_keys = set()  # keys that already passed _KEY_RE
+        self._flush = None      # one-shot drain armed by a batched ingest
         self.save_count = 0
         self.load_count = 0
         # ``strict_notify=True`` restores the pre-containment behavior: a
@@ -105,8 +133,99 @@ class FeatureStore:
             raise StoreError("invalid feature-store key: {!r}".format(key))
         self._valid_keys.add(key)
 
+    # -- batched ingest plumbing -------------------------------------------
+
+    def defer_flush(self, callback):
+        """Arm a one-shot ``callback`` that drains buffered batched saves.
+
+        The batched device-model lane buffers per-event saves in columns;
+        any store access that could observe state (save/load/version/
+        snapshot/keys/contains) first runs the armed callback, so no reader
+        can ever see pre-flush state.  Re-arming the same callback is a
+        no-op; arming a different one drains the first immediately.
+        """
+        if self._flush is not None and self._flush is not callback:
+            self._drain_flush()
+        self._flush = callback
+
+    def cancel_flush(self, callback):
+        """Disarm ``callback`` if armed (the ingest draining on its own)."""
+        if self._flush is callback:
+            self._flush = None
+
+    def _drain_flush(self):
+        # Clear before running: the callback replays saves through the
+        # normal (or batched) save path, which must not re-enter the drain.
+        flush, self._flush = self._flush, None
+        flush()
+
+    def save_batch(self, key, values, times):
+        """Batched SAVE: equivalent to ``save(key, v)`` at each time.
+
+        ``times`` carries the events' (non-decreasing) virtual timestamps —
+        the clock values the scalar saves would have observed.  With no
+        tracer and no subscribers the fast lane updates raw state in O(1)
+        and feeds derived keys one batch at a time; otherwise events are
+        replayed sequentially so every per-event observer sees scalar
+        order.  Values are expected numeric (the device-model lane only
+        buffers numbers); state afterwards is bit-identical to n scalar
+        saves as long as nothing read the store mid-batch — which
+        :meth:`defer_flush` exists to guarantee.
+        """
+        count = len(values)
+        if count == 0:
+            return
+        if len(times) != count:
+            raise StoreError(
+                "save_batch: {} values vs {} times".format(count, len(times)))
+        try:
+            unseen = key not in self._valid_keys
+        except TypeError:
+            raise StoreError("invalid feature-store key: {!r}".format(key))
+        if unseen:
+            self._check_key(key)
+        if key in self._derived:
+            raise StoreError(
+                "key {!r} is derived (from {!r}) and cannot be saved directly"
+                .format(key, self._derived[key].source)
+            )
+        if TRACER.active or self._subscribers:
+            # Sequential replay at the recorded event times: tracing spans
+            # and subscriber callbacks observe each save individually, in
+            # exactly the order the scalar path would have produced.
+            for value, now in zip(values, times):
+                self.save_count += 1
+                if TRACER.active:
+                    TRACER.emit(
+                        "featurestore.save", key, now,
+                        args={"value": value}
+                        if isinstance(value, (bool, int, float, str))
+                        or value is None else None,
+                    )
+                self._values[key] = value
+                self._bump(key, value, now)
+                if isinstance(value, (int, float)):
+                    fanout = self._by_source.get(key)
+                    if fanout is not None:
+                        numeric = float(value)
+                        for derived in fanout:
+                            derived.update(numeric, now)
+                            self._bump(derived.name, None, now)
+            return
+        self.save_count += count
+        self._values[key] = values[-1]
+        versions = self._versions
+        versions[key] = versions.get(key, 0) + count
+        fanout = self._by_source.get(key)
+        if fanout is not None:
+            for derived in fanout:
+                derived.update_batch(values, times)
+                versions[derived.name] = versions.get(derived.name, 0) + count
+
     def save(self, key, value):
         """SAVE(key, value) — store a raw value and feed derived keys."""
+        if self._flush is not None:
+            self._drain_flush()
         try:
             unseen = key not in self._valid_keys
         except TypeError:
@@ -145,6 +264,8 @@ class FeatureStore:
         Missing keys return ``default`` (``None`` unless given); rules treat
         a ``None`` load as "no data yet", which never violates.
         """
+        if self._flush is not None:
+            self._drain_flush()
         try:
             unseen = key not in self._valid_keys
         except TypeError:
@@ -163,13 +284,19 @@ class FeatureStore:
         return default
 
     def __contains__(self, key):
+        if self._flush is not None:
+            self._drain_flush()
         return key in self._values or key in self._derived
 
     def keys(self):
+        if self._flush is not None:
+            self._drain_flush()
         return sorted(set(self._values) | set(self._derived))
 
     def version(self, key):
         """Monotonic change counter for a key (0 if never written)."""
+        if self._flush is not None:
+            self._drain_flush()
         return self._versions.get(key, 0)
 
     def _bump(self, key, value, now):
@@ -270,7 +397,6 @@ class FeatureStore:
         0/1 (or bool) event outcomes, e.g. ``SAVE(false_submit, 1)``.
         """
         name = name or source + ".rate"
-        predicate = predicate or (lambda v: bool(v))
         return self._register_derived(_DerivedRate(name, source, window, predicate))
 
     def snapshot(self):
@@ -280,6 +406,8 @@ class FeatureStore:
         are dropped exactly like NaN derived aggregates — a REPORT payload
         is uniformly "keys with data".
         """
+        if self._flush is not None:
+            self._drain_flush()
         now = self._clock()
         out = {
             key: value for key, value in self._values.items()

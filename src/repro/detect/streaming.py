@@ -298,6 +298,28 @@ class RateCounter:
             self._hits += 1
         self._evict(time)
 
+    def observe_batch(self, times, hits):
+        """Record many events at once; exact-equivalent to observe() calls.
+
+        ``times`` must be non-decreasing (the caller's event order).  The
+        numerator is an integer running count and evictions are monotone in
+        time, so appending the whole batch and evicting once at the final
+        timestamp leaves *identical* state to n sequential observes — this
+        is what lets the batched ingest lane stay bit-exact.
+        """
+        events = self._events
+        hit_count = 0
+        last = None
+        for last, hit in zip(times, hits):
+            hit = bool(hit)
+            events.append((last, hit))
+            if hit:
+                hit_count += 1
+        if last is None:
+            return
+        self._hits += hit_count
+        self._evict(last)
+
     def _evict(self, now):
         cutoff = now - self.window
         events = self._events

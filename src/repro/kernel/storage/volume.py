@@ -70,13 +70,25 @@ class ReplicatedVolume:
     FALLBACK_NAME = "storage.round_robin"
 
     def __init__(self, kernel, devices, slow_threshold_us=500.0,
-                 false_submit_window=1 * SECOND, metric_prefix="storage"):
+                 false_submit_window=1 * SECOND, metric_prefix="storage",
+                 ingest_batch=None):
         if not devices:
             raise ValueError("need at least one device")
         self.kernel = kernel
         self.devices = list(devices)
         self.slow_threshold_us = slow_threshold_us
         self.metric_prefix = metric_prefix
+        # Batched completion lane: buffer per-I/O store saves and metric
+        # records in columns of up to ``ingest_batch`` events, flushed on
+        # buffer-full or on any store read (the store's deferred-flush
+        # hook).  None keeps the scalar per-event path.  Device RNG draws
+        # happen before this point, so batch size can never perturb them.
+        if ingest_batch:
+            from repro.kernel.storage.batch import BatchedCompletionIngest
+            self._ingest = BatchedCompletionIngest(
+                kernel.store, kernel.metrics, metric_prefix, ingest_batch)
+        else:
+            self._ingest = None
         self._io_counter = 0
         self.inflight = 0
         self.completed = 0
@@ -143,18 +155,26 @@ class ReplicatedVolume:
         if false_submit:
             self.false_submits += 1
 
-        store = self.kernel.store
-        store.save("io_latency_us", request.latency_us)
-        if request.used_model and request.predicted_fast is not None:
-            # Rate denominator: every model-guided fast prediction.
-            if request.predicted_fast:
-                store.save("false_submit", 1 if false_submit else 0)
+        if self._ingest is not None:
+            if (request.used_model and request.predicted_fast is not None
+                    and request.predicted_fast):
+                fs_event = 1 if false_submit else 0
+            else:
+                fs_event = None
+            self._ingest.add(now, request.latency_us, fs_event, slow)
+        else:
+            store = self.kernel.store
+            store.save("io_latency_us", request.latency_us)
+            if request.used_model and request.predicted_fast is not None:
+                # Rate denominator: every model-guided fast prediction.
+                if request.predicted_fast:
+                    store.save("false_submit", 1 if false_submit else 0)
 
-        self.kernel.metrics.record(self.metric_prefix + ".io_latency_us",
-                                   request.latency_us)
-        self.kernel.metrics.increment(self.metric_prefix + ".completed")
-        if slow:
-            self.kernel.metrics.increment(self.metric_prefix + ".slow_ios")
+            self.kernel.metrics.record(self.metric_prefix + ".io_latency_us",
+                                       request.latency_us)
+            self.kernel.metrics.increment(self.metric_prefix + ".completed")
+            if slow:
+                self.kernel.metrics.increment(self.metric_prefix + ".slow_ios")
 
         self.complete_hook.fire(
             io_id=request.io_id,
@@ -169,10 +189,16 @@ class ReplicatedVolume:
 
     # -- summary ------------------------------------------------------------
 
+    def flush_ingest(self):
+        """Drain the batched ingest buffers (no-op on the scalar path)."""
+        if self._ingest is not None:
+            self._ingest.flush()
+
     def false_submit_fraction(self):
         if self.model_submits == 0:
             return 0.0
         return self.false_submits / self.model_submits
 
     def mean_latency_us(self):
+        self.flush_ingest()
         return self.kernel.metrics.series(self.metric_prefix + ".io_latency_us").mean()

@@ -23,6 +23,11 @@ class TimeSeries:
         self.times.append(time)
         self.values.append(value)
 
+    def extend(self, times, values):
+        """Append many samples at once; equivalent to append() per pair."""
+        self.times.extend(times)
+        self.values.extend(values)
+
     def __len__(self):
         return len(self.values)
 
@@ -87,6 +92,16 @@ class MetricRecorder:
             self._series[name] = TimeSeries(name)
         when = self.engine.now if time is None else time
         self._series[name].append(when, value)
+
+    def record_batch(self, name, times, values):
+        """Append many samples to series ``name`` with explicit times.
+
+        The batched ingest lane's counterpart to per-event record():
+        series content is identical, list growth is one extend.
+        """
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        self._series[name].extend(times, values)
 
     def increment(self, name, amount=1):
         self._counters[name] = self._counters.get(name, 0) + amount

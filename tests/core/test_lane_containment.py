@@ -1,0 +1,115 @@
+"""Rule-crash containment is lane-independent (closure vs bytecode VM).
+
+The monitor's broad ``except Exception`` around ``program(ctx)`` is the
+§4.2 crash-only containment site.  Both rule backends charge ``ctx.ops``
+incrementally at identical evaluation points, so a store backend that
+raises mid-rule must leave *identical* observable state whichever lane
+compiled the rule: crash counters, partial overhead charges, breaker
+transitions (timing included), and supervisor stats.
+"""
+
+from repro.core.compiler import GuardrailCompiler
+from repro.core.host import MonitorHost
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.kernel import Kernel
+from repro.sim.units import SECOND
+
+CRASHY = """
+guardrail crashy {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { LOAD(metric) <= 10 },
+  action: { REPORT() }
+}
+"""
+
+# The composite form crashes *mid-expression*: the left arm has already
+# charged ops when the second LOAD raises, so the partial charge the
+# containment site records exercises the interesting path.
+COMPOSITE_CRASHY = """
+guardrail crashy {
+  trigger: { TIMER(start_time, 1s) },
+  rule: { n0 == n0 || LOAD(ok) > 0 && LOAD(metric) <= 10 },
+  action: { REPORT() }
+}
+"""
+
+
+def run_crashing_host(lane, text=CRASHY):
+    host = MonitorHost()
+    monitor = GuardrailCompiler(lane=lane).compile(text).instantiate(host)
+    monitor.arm()
+    host.store.save("ok", 1)
+    inner_load, backend = host.store.load, {"broken": True}
+
+    def flaky_load(key, default=None):
+        if key == "metric" and backend["broken"]:
+            raise RuntimeError("store backend failure")
+        return inner_load(key, default)
+
+    host.store.load = flaky_load
+    host.engine.run(until=3 * SECOND + 1)
+    breaker = host.supervisor.breaker("crashy")
+    mid = {
+        "crashes": monitor.rule_crash_count,
+        "overhead_ns": monitor.overhead.simulated_ns,
+        "breaker_state": breaker.state,
+        "enabled": monitor.enabled,
+    }
+    # Repair the backend: the next half-open probe closes the breaker.
+    backend["broken"] = False
+    host.store.save("metric", 5)
+    host.engine.run(until=8 * SECOND + 1)
+    return {
+        "mid": mid,
+        "crashes": monitor.rule_crash_count,
+        "checks": monitor.check_count,
+        "violations": monitor.violation_count,
+        "inconclusive": monitor.inconclusive_count,
+        "overhead_ns": monitor.overhead.simulated_ns,
+        "breaker_state": breaker.state,
+        "transitions": [(t["time"], t["from"], t["to"])
+                        for t in breaker.transitions],
+        "supervisor": host.supervisor.stats(),
+        "enabled": monitor.enabled,
+    }
+
+
+def test_breaker_and_charges_agree_across_lanes():
+    assert run_crashing_host("closure") == run_crashing_host("vm")
+
+
+def test_mid_expression_crash_partial_charge_agrees_across_lanes():
+    closure = run_crashing_host("closure", COMPOSITE_CRASHY)
+    vm = run_crashing_host("vm", COMPOSITE_CRASHY)
+    assert closure == vm
+    assert closure["mid"]["crashes"] == 3  # the crash path actually ran
+    assert closure["mid"]["breaker_state"] == "open"
+
+
+def run_fault_injected_kernel(lane):
+    kernel = Kernel(seed=3)
+    kernel.guardrails.compiler = GuardrailCompiler(lane=lane)
+    kernel.store.save("metric", 1)
+    monitor = kernel.guardrails.load(CRASHY)
+    plan = FaultPlan.from_flags(("corrupt@metric",), seed=1)
+    injector = FaultInjector(kernel, plan).install()
+    kernel.run(until=5 * SECOND)
+    return {
+        "checks": monitor.check_count,
+        "inconclusive": monitor.inconclusive_count,
+        "violations": monitor.violation_count,
+        "crashes": monitor.rule_crash_count,
+        "overhead_ns": monitor.overhead.simulated_ns,
+        "injected": injector.injected_count,
+    }
+
+
+def test_corrupt_injection_reads_as_missing_data_on_both_lanes():
+    closure = run_fault_injected_kernel("closure")
+    vm = run_fault_injected_kernel("vm")
+    assert closure == vm
+    # NaN telemetry is contained as missing data, never as a crash.
+    assert closure["checks"] > 0
+    assert closure["inconclusive"] == closure["checks"]
+    assert closure["crashes"] == 0

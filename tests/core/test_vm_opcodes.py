@@ -1,0 +1,217 @@
+"""Per-opcode VM checks: static cost = charged ops, verifier, None/NaN.
+
+Every opcode gets a minimal expression proving that the verifier's
+``static_cost`` equals the ops both backends actually charge at runtime
+(short-circuiting only ever lowers the real cost), plus a golden
+missing-data matrix pinning the None/NaN semantics the paper's §4.2
+crash-free evaluation requires.
+"""
+
+import math
+
+import pytest
+
+from repro.core.compiler import GuardrailCompiler
+from repro.core.errors import VerifierError
+from repro.core.expr import (
+    EvalContext,
+    compile_expression,
+    compile_to_vm,
+    static_cost,
+)
+from repro.core.expr import vm as vm_mod
+from repro.core.featurestore import FeatureStore
+from repro.core.spec.lexer import tokenize
+from repro.core.spec.parser import _Parser
+from repro.core.verifier import VerifierConfig
+
+
+def parse_expr(text):
+    return _Parser(tokenize(text)).parse_expression()
+
+
+def make_store(**values):
+    store = FeatureStore()
+    for key, value in values.items():
+        store._values[key] = value
+        store._valid_keys.add(key)
+    return store
+
+
+def run_lane(program, store, payload=None):
+    ctx = EvalContext(store, now=5, payload=payload)
+    return program(ctx), ctx.ops
+
+
+def both_lanes(text, store=None, payload=None):
+    expr = parse_expr(text)
+    store = store if store is not None else make_store()
+    value_c, ops_c = run_lane(compile_expression(expr), store, payload)
+    value_v, ops_v = run_lane(compile_to_vm(expr), store, payload)
+    assert ops_c == ops_v, text
+    if isinstance(value_c, float) and math.isnan(value_c):
+        assert isinstance(value_v, float) and math.isnan(value_v)
+    else:
+        assert value_c == value_v and type(value_c) is type(value_v), text
+    return value_c, ops_c, expr
+
+
+# -- static_cost == runtime charged ops, opcode by opcode --------------------
+#
+# Inputs are chosen so no short-circuit fires: the static bound is then
+# exact, for the closure backend and the VM alike.
+
+OPCODE_CASES = [
+    ("CONST(folded)", "1 + 2 * 3", {}),
+    ("NAME", "n0 + 1", {}),
+    ("LOAD", "LOAD(k) + 0", {"k": 7}),
+    ("NEG", "-(LOAD(k))", {"k": 7}),
+    ("NOT", "!(LOAD(k))", {"k": 0}),
+    ("ARITH(+)", "LOAD(k) + LOAD(j)", {"k": 7, "j": 3}),
+    ("ARITH(cmp)", "LOAD(k) <= LOAD(j)", {"k": 7, "j": 3}),
+    ("EQ", "LOAD(k) == LOAD(j)", {"k": 7, "j": 3}),
+    ("DIV", "LOAD(k) / LOAD(j)", {"k": 7, "j": 2}),
+    ("AND", "LOAD(k) > 0 && LOAD(j) > 0", {"k": 7, "j": 3}),
+    ("OR", "LOAD(k) > 9 || LOAD(j) > 9", {"k": 7, "j": 3}),
+    ("ABS", "abs(LOAD(k))", {"k": -7}),
+    ("MINMAX", "min(LOAD(k), LOAD(j), 5)", {"k": 7, "j": 3}),
+    ("CLAMP", "clamp(LOAD(k), 0, 10)", {"k": 7}),
+    ("FUSED", "LOAD(k) <= 1", {"k": 7}),
+    ("FUSED(flipped)", "1 <= LOAD(k)", {"k": 7}),
+]
+
+
+@pytest.mark.parametrize("label,text,values",
+                         OPCODE_CASES, ids=[c[0] for c in OPCODE_CASES])
+def test_static_cost_equals_runtime_ops(label, text, values):
+    _, ops, expr = both_lanes(text, make_store(**values), payload={"n0": 4})
+    assert ops == static_cost(expr), label
+
+
+@pytest.mark.parametrize("text,values,expected_ops", [
+    # && short-circuits on literal False: the right arm never runs.
+    ("false && LOAD(k) > 0", {"k": 7}, 2),
+    ("LOAD(k) > 9 && LOAD(j) > 0", {"k": 7, "j": 3}, 5),
+    # || short-circuits on a truthy left arm.
+    ("true || LOAD(k) > 0", {"k": 7}, 2),
+    ("LOAD(k) > 0 || LOAD(j) > 0", {"k": 7, "j": 3}, 5),
+])
+def test_short_circuit_ops_below_static_bound(text, values, expected_ops):
+    _, ops, expr = both_lanes(text, make_store(**values))
+    assert ops == expected_ops
+    assert ops < static_cost(expr)
+
+
+def test_numeric_zero_does_not_short_circuit_and():
+    # Scalar && short-circuits only on a literal bool False; a numeric 0
+    # left arm still evaluates (and charges) the right arm.
+    _, ops, _ = both_lanes("LOAD(k) && LOAD(j) > 0", make_store(k=0, j=3))
+    assert ops == 7  # 2 (load) + 1 (&&) + 4 (right arm): nothing skipped
+
+
+# -- verifier through the VM lane --------------------------------------------
+
+
+def guardrail(rules):
+    return ("guardrail g {{ trigger: {{ TIMER(start_time, 1s) }}, "
+            "rule: {{ {} }}, action: {{ REPORT() }} }}").format(rules)
+
+
+def test_vm_lane_respects_verifier_budget():
+    compiler = GuardrailCompiler(
+        lane="vm", verifier_config=VerifierConfig(max_rule_cost=2))
+    with pytest.raises(VerifierError, match="budget"):
+        compiler.compile(guardrail("LOAD(a) <= 1"))
+
+
+def test_vm_lane_verification_costs_match_closure_lane():
+    text = guardrail("LOAD(a) <= 1 && LOAD(b) > 0")
+    closure_lane = GuardrailCompiler(lane="closure").compile(text)
+    vm_lane = GuardrailCompiler(lane="vm").compile(text)
+    assert (vm_lane.verification.rule_costs
+            == closure_lane.verification.rule_costs)
+    assert (vm_lane.verification.total_cost
+            == closure_lane.verification.total_cost)
+    assert vm_lane.rule_lanes == ["vm"]
+    assert closure_lane.rule_lanes == ["closure"]
+
+
+def test_vm_program_static_budget_argument_holds():
+    # Loop-free bytecode: executed instruction count is bounded by program
+    # length, the VM restatement of the verifier's static-cost argument.
+    expr = parse_expr("LOAD(a) > 0 && (LOAD(b) + 1) / 2 <= min(LOAD(c), 9)")
+    program = compile_to_vm(expr)
+    assert len(program) >= 2
+    assert program.load_keys == ["a", "b", "c"]
+    assert len(program.disasm()) == len(program)
+
+
+# -- golden None/NaN matrix --------------------------------------------------
+
+NAN = float("nan")
+
+MATRIX = [
+    ("LOAD(m) + 1", {}, None),
+    ("LOAD(m) + 1", {"m": NAN}, None),
+    ("LOAD(m) <= 1", {}, None),
+    ("LOAD(m) <= 1", {"m": NAN}, None),
+    ("1 <= LOAD(m)", {"m": NAN}, None),
+    ("-(LOAD(m))", {}, None),
+    ("!(LOAD(m))", {}, None),
+    ("LOAD(m) == LOAD(m)", {}, None),
+    ("LOAD(m) / 2", {}, None),
+    ("2 / LOAD(z)", {"z": 0}, None),   # divide-by-zero reads as no-data
+    ("abs(LOAD(m))", {}, None),
+    ("min(LOAD(m), 1)", {}, None),
+    ("max(1, LOAD(m))", {"m": NAN}, None),
+    ("clamp(LOAD(m), 0, 10)", {}, None),
+    # Logical operators: False/True dominate missing data; otherwise
+    # missing data poisons the result.
+    ("LOAD(m) && true", {}, None),
+    ("true && LOAD(m)", {}, None),
+    ("LOAD(m) && false", {}, False),
+    ("false && LOAD(m)", {}, False),
+    ("LOAD(m) || true", {}, True),
+    ("true || LOAD(m)", {}, True),
+    ("LOAD(m) || false", {}, None),
+    ("false || LOAD(m)", {}, None),
+    # Type confusion reads as missing data (§4.2), not as a TypeError.
+    ("LOAD(s) + 1", {"s": "oops"}, None),
+    ("LOAD(s) <= 1", {"s": "oops"}, None),
+    ("-(LOAD(s))", {"s": "oops"}, None),
+    ("abs(LOAD(s))", {"s": "oops"}, None),
+    ("min(LOAD(s), 1)", {"s": "oops"}, None),
+    ("clamp(5, LOAD(s), 10)", {"s": "oops"}, None),
+    ("LOAD(s) / 2", {"s": "oops"}, None),
+]
+
+
+@pytest.mark.parametrize("text,values,expected", MATRIX,
+                         ids=["{}#{}".format(i, c[0])
+                              for i, c in enumerate(MATRIX)])
+def test_golden_none_nan_matrix(text, values, expected):
+    value, _, _ = both_lanes(text, make_store(**values))
+    if expected is None:
+        assert value is None
+    else:
+        assert value is expected
+
+
+# -- disassembler sanity ------------------------------------------------------
+
+
+def test_disasm_names_every_opcode():
+    expr = parse_expr(
+        "!(LOAD(a)) && -(n0) + abs(1 - 2) / clamp(LOAD(b), 0, max(2, 3)) "
+        "<= min(LOAD(c), 4) || LOAD(d) == 1")
+    listing = "\n".join(compile_to_vm(expr).disasm())
+    for mnemonic in ("AND", "OR", "LOAD", "CONST", "NOT"):
+        assert mnemonic in listing
+
+
+def test_columnar_safe_flags_string_constants():
+    assert not compile_to_vm(parse_expr('LOAD(a) == "text"')).columnar_safe
+    assert compile_to_vm(parse_expr("LOAD(a) <= 1")).columnar_safe
+    with pytest.raises(vm_mod.ColumnarError):
+        vm_mod.eval_columns(
+            compile_to_vm(parse_expr('LOAD(a) == "text"')), 4)

@@ -1,0 +1,139 @@
+"""Cross-host columnar rule sweep: parity with per-host scalar evaluation."""
+
+import math
+
+import pytest
+
+from repro.core.expr import EvalContext
+from repro.fleet.scenario import fleet_versions
+from repro.fleet.worker import (
+    FleetError,
+    HostSpec,
+    SimulatedHost,
+    columnar_fleet_check,
+)
+from repro.sim.units import SECOND
+
+V1, V2 = fleet_versions()
+
+COMPOSITE_SPEC = """
+guardrail composite-health {
+  trigger: { TIMER(start_time, 1e9) },
+  rule: { LOAD(false_submit_rate) <= 0.5 && LOAD(io_latency_us) < 100000 },
+  action: { REPORT() }
+}
+"""
+
+
+def build_fleet(n=6, corrupt=1, extra_spec=None):
+    hosts = []
+    for host_id in range(n):
+        flags = ("corrupt@false_submit_rate",) if host_id < corrupt else ()
+        spec = HostSpec(host_id, seed=100 + host_id, rate_ios=300,
+                        fault_flags=flags, fault_seed=host_id)
+        host = SimulatedHost(spec, V1, SECOND, total_rounds=2)
+        if extra_spec is not None:
+            host.kernel.guardrails.load(extra_spec, arm=False)
+        host.step(1 * SECOND)
+        hosts.append(host)
+    return hosts
+
+
+def scalar_reference(hosts, guardrail):
+    """Per-host closure-lane evaluation — the ground truth."""
+    expected = []
+    compiled = hosts[0].kernel.guardrails.get(guardrail).compiled
+    for index in range(len(compiled.rules)):
+        verdicts, ops = [], []
+        for host in hosts:
+            program = (host.kernel.guardrails.get(guardrail)
+                       .compiled.closure_programs[index])
+            ctx = EvalContext(host.kernel.store,
+                              now=host.kernel.engine.now, payload={})
+            result = program(ctx)
+            ops.append(ctx.ops)
+            if result is None:
+                verdicts.append("inconclusive")
+            elif not result:
+                verdicts.append("violation")
+            else:
+                verdicts.append("ok")
+        expected.append({"verdicts": verdicts, "ops": ops})
+    return expected
+
+
+def test_columnar_sweep_matches_scalar_closures():
+    hosts = build_fleet()
+    results = columnar_fleet_check(hosts)
+    assert set(results) == {V1.name}
+    (entry,) = results[V1.name]
+    assert entry["lane"] == "columnar"
+    (expected,) = scalar_reference(hosts, V1.name)
+    assert entry["verdicts"] == expected["verdicts"]
+    assert entry["ops"] == expected["ops"]
+    # The corrupt host's NaN signal reads as missing data on both lanes.
+    assert entry["verdicts"][0] == "inconclusive"
+    assert "ok" in entry["verdicts"][1:]
+
+
+def test_composite_rule_short_circuit_ops_match():
+    hosts = build_fleet(n=5, corrupt=2, extra_spec=COMPOSITE_SPEC)
+    results = columnar_fleet_check(hosts, guardrail="composite-health")
+    (entry,) = results["composite-health"]
+    assert entry["lane"] == "columnar"
+    (expected,) = scalar_reference(hosts, "composite-health")
+    assert entry["verdicts"] == expected["verdicts"]
+    # Ops include the per-row short-circuit masking of the && right arm.
+    assert entry["ops"] == expected["ops"]
+
+
+def test_non_numeric_store_value_falls_back_to_scalar():
+    hosts = build_fleet(n=3, corrupt=0, extra_spec=COMPOSITE_SPEC)
+    hosts[1].kernel.store.save("io_latency_us", "garbage")
+    results = columnar_fleet_check(hosts, guardrail="composite-health")
+    (entry,) = results["composite-health"]
+    assert entry["lane"] == "scalar"
+    (expected,) = scalar_reference(hosts, "composite-health")
+    assert entry["verdicts"] == expected["verdicts"]
+    assert entry["ops"] == expected["ops"]
+
+
+def test_mixed_versions_rejected():
+    hosts = build_fleet(n=3, corrupt=0)
+    hosts[2].apply(V2)
+    with pytest.raises(FleetError):
+        columnar_fleet_check(hosts)
+
+
+def test_empty_fleet_is_empty_result():
+    assert columnar_fleet_check([]) == {}
+
+
+def test_sweep_does_not_perturb_rule_state():
+    hosts = build_fleet(n=3, corrupt=0)
+    before = [(h.kernel.guardrails.get(V1.name).check_count,
+               h.kernel.guardrails.get(V1.name).violation_count,
+               h.kernel.store.save_count) for h in hosts]
+    columnar_fleet_check(hosts)
+    after = [(h.kernel.guardrails.get(V1.name).check_count,
+              h.kernel.guardrails.get(V1.name).violation_count,
+              h.kernel.store.save_count) for h in hosts]
+    assert before == after
+
+
+def test_verdict_decoding_covers_violation():
+    # Force a violating signal on every host: rate above both thresholds.
+    hosts = build_fleet(n=2, corrupt=0)
+    for host in hosts:
+        store = host.kernel.store
+        # Rebind the derived key is not allowed; check against v2's rule by
+        # applying it, then saturating the rate with false submits.
+        host.apply(V2)
+        for _ in range(500):
+            store.save("false_submit", 1)
+    results = columnar_fleet_check(hosts)
+    (entry,) = results[V1.name]
+    assert entry["verdicts"] == ["violation", "violation"]
+    (expected,) = scalar_reference(hosts, V1.name)
+    assert entry["verdicts"] == expected["verdicts"]
+    assert entry["ops"] == expected["ops"]

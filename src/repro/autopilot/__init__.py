@@ -1,0 +1,31 @@
+"""Fleet-scale closed loop for guardrail maintenance (§3.3).
+
+``repro.autopilot`` turns the paper's maintenance promise into a running
+loop: mine steady-state fleet behavior from a results store, propose
+tightened thresholds and synthesized property metrics as versioned
+guardrail specs with machine-readable provenance, and deploy each
+proposal through the staged-rollout control plane — so an over-tight
+proposal trips its own health gates, rolls back whole-cohort, and the
+loop backs off instead of re-proposing the same spec.
+"""
+
+from repro.autopilot.loop import AutopilotError, run_autopilot
+from repro.autopilot.propose import (
+    Proposal,
+    exact_quantile,
+    mine_false_submit_samples,
+    propose_synthesis,
+    propose_tightening,
+    storage_policy_manifest,
+)
+
+__all__ = [
+    "AutopilotError",
+    "Proposal",
+    "exact_quantile",
+    "mine_false_submit_samples",
+    "propose_synthesis",
+    "propose_tightening",
+    "run_autopilot",
+    "storage_policy_manifest",
+]

@@ -107,3 +107,22 @@ def synthesize_guardrails(manifest):
         fallback_slot=manifest.slot, fallback_impl=manifest.fallback,
     )
     return specs
+
+
+#: Which manifest fields each synthesized property derives from — the
+#: provenance the autopilot attaches when it records a synthesis proposal,
+#: answering "why does this guardrail exist" from policy metadata alone.
+SYNTHESIS_SOURCES = {
+    "P1": ("has_input_tracker", "model"),
+    "P2": ("has_sensitivity_probe", "sensitivity_threshold", "model"),
+    "P3": ("bounds_hook", "bounds_rule", "slot", "fallback"),
+    "P4": ("reward_key", "baseline_key", "higher_is_better",
+           "quality_margin", "slot", "fallback"),
+    "P5": ("name", "slot", "fallback"),
+}
+
+
+def synthesis_provenance(manifest, property_id):
+    """The manifest fields (name -> value) a synthesized spec derives from."""
+    return {field: getattr(manifest, field)
+            for field in SYNTHESIS_SOURCES[property_id]}

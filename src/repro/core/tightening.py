@@ -46,18 +46,24 @@ class AutoTightener:
         self._sample_count = 0
         self._unsubscribe = None
         self._timer = None
+        self._stopped = False
         self.tighten_count = 0
         self.history = [(0, initial_threshold)]
 
     def start(self):
         """Load the relaxed guardrail and begin observing."""
         host = self.manager.host
+        # The history timeline must say when observation actually began:
+        # a tightener started at engine time T>0 did not watch [0, T).
+        self.history[0] = (host.engine.now, self.threshold)
+        self._stopped = False
         self.manager.load(self.spec_builder(self.threshold))
         self._unsubscribe = host.store.subscribe(self._on_change)
         self._timer = host.engine.schedule(self.interval, self._tick)
         return self
 
     def stop(self):
+        self._stopped = True
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
@@ -66,7 +72,10 @@ class AutoTightener:
             self._timer = None
 
     def _on_change(self, key, value, now):
-        if key != self.key or not isinstance(value, (int, float)):
+        # bool is an int subclass; flag keys must not feed float(True)
+        # into the quantile estimator.
+        if (key != self.key or isinstance(value, bool)
+                or not isinstance(value, (int, float))):
             return
         if isinstance(value, float) and math.isnan(value):
             return
@@ -76,6 +85,8 @@ class AutoTightener:
     def _tick(self):
         self._timer = None
         self._maybe_tighten()
+        if self._stopped:
+            return  # stop() ran inside _maybe_tighten (manager teardown)
         host = self.manager.host
         self._timer = host.engine.schedule(self.interval, self._tick)
 

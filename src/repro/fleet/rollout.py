@@ -24,21 +24,33 @@ from repro.trace.tracer import TRACER
 
 
 class GuardrailVersion:
-    """One immutable, versioned guardrail spec (picklable via dicts)."""
+    """One immutable, versioned guardrail spec (picklable via dicts).
 
-    __slots__ = ("name", "version", "text")
+    ``provenance`` is an optional machine-readable record of where the
+    spec came from — the autopilot attaches the observed band, sample
+    count, and prior threshold it tightened from.  Hand-written versions
+    carry none, and ``to_dict`` omits the key entirely then, so reports
+    of pre-autopilot rollouts are byte-identical to what they always were.
+    """
 
-    def __init__(self, name, version, text):
+    __slots__ = ("name", "version", "text", "provenance")
+
+    def __init__(self, name, version, text, provenance=None):
         self.name = name
         self.version = int(version)
         self.text = text
+        self.provenance = provenance
 
     def to_dict(self):
-        return {"name": self.name, "version": self.version, "text": self.text}
+        out = {"name": self.name, "version": self.version, "text": self.text}
+        if self.provenance is not None:
+            out["provenance"] = self.provenance
+        return out
 
     @classmethod
     def from_dict(cls, data):
-        return cls(data["name"], data["version"], data["text"])
+        return cls(data["name"], data["version"], data["text"],
+                   provenance=data.get("provenance"))
 
     def __repr__(self):
         return "GuardrailVersion({} v{})".format(self.name, self.version)

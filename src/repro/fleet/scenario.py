@@ -137,12 +137,15 @@ class FleetScenario:
 
 def build_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42,
                         fault_hosts=0, quick=False, fault_kind="corrupt",
-                        gate=None):
+                        gate=None, versions=None):
     """Construct the canonical rollout scenario without running it.
 
     ``gate=None`` deploys behind the calibrated :class:`GateConfig`
     defaults; passing a config overrides them (``repro.eval`` uses a
     permissive gate here to record every stage's measurements).
+    ``versions`` overrides the ``(old, new)`` :class:`GuardrailVersion`
+    pair — the autopilot deploys its own proposed specs through the same
+    workload, stages, and gates the canonical rollout uses.
     """
     if hosts < 1:
         raise ValueError("hosts must be >= 1, got {}".format(hosts))
@@ -156,7 +159,7 @@ def build_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42,
     total_rounds = (plan.baseline_rounds
                     + sum(stage.bake_rounds for stage in plan.stages)
                     + plan.settle_rounds)
-    old_version, new_version = fleet_versions()
+    old_version, new_version = versions if versions else fleet_versions()
     specs = make_fleet_specs(hosts, seed, rate_ios,
                              fault_hosts=fault_hosts,
                              fault_start_s=plan.baseline_rounds,
@@ -176,7 +179,7 @@ def build_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42,
 
 def run_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42, jobs=1,
                       fault_hosts=0, quick=False, fault_kind="corrupt",
-                      gate=None, observer=None):
+                      gate=None, observer=None, versions=None):
     """Run the canonical staged rollout; returns the rollout report dict.
 
     The report is deterministic for ``(hosts, stages, seed, fault_hosts,
@@ -186,7 +189,8 @@ def run_fleet_rollout(hosts=8, stages="canary:1,25%,100%", seed=42, jobs=1,
     """
     built = build_fleet_rollout(hosts=hosts, stages=stages, seed=seed,
                                 fault_hosts=fault_hosts, quick=quick,
-                                fault_kind=fault_kind, gate=gate)
+                                fault_kind=fault_kind, gate=gate,
+                                versions=versions)
     with FleetRunner(built.specs, built.old_version, SECOND,
                      built.total_rounds, jobs=jobs) as runner:
         controller = RolloutController(runner, built.old_version,

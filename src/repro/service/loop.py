@@ -209,6 +209,11 @@ def resume(store, run_id=None, jobs=1, max_rounds=None):
     if run["kind"] == "soak":
         return _drive_soak(store, run_id, run["scenario"], jobs=jobs,
                            max_rounds=max_rounds, skip_through=watermark)
+    if run["kind"].startswith("autopilot."):
+        raise ServiceError(
+            "run {} is an {} run; autopilot runs replay as a whole — "
+            "rerun `grctl autopilot` instead of resuming".format(
+                run_id, run["kind"]))
     raise ServiceError("run {} has unknown kind {!r}".format(
         run_id, run["kind"]))
 

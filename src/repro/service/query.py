@@ -241,6 +241,44 @@ def rollback_timeline(store, run_id=None):
             "events": entries}
 
 
+def autopilot_changes(store, run_id=None):
+    """What the autopilot changed and why: every proposal with its fate.
+
+    Each entry carries the proposal's machine-readable provenance (the
+    observed band, sample count, and prior threshold it was mined from)
+    and, when it was deployed through a rollout, that run's outcome —
+    including the tripped gate's reasons for a rolled-back proposal.
+    ``run_id`` restricts to proposals whose deploy run matches (default:
+    every proposal in the store).
+    """
+    out = []
+    for row in store.proposal_rows():
+        if run_id is not None and row["deploy_run"] != run_id:
+            continue
+        entry = {
+            "proposal": row["proposal_id"],
+            "kind": row["kind"],
+            "guardrail": row["guardrail"],
+            "version": row["version"],
+            "verdict": row["verdict"],
+            "deploy_run": row["deploy_run"],
+            "provenance": json.loads(row["provenance"]),
+            "spec": row["spec"],
+        }
+        if row["deploy_run"] is not None:
+            run = store.run(row["deploy_run"])
+            deploy = {"status": run["status"],
+                      "rolled_back_at_stage": run["rolled_back_at"]}
+            reasons = []
+            for gate_row in store.gate_rows(row["deploy_run"]):
+                if not gate_row["passed"]:
+                    reasons.extend(json.loads(gate_row["reasons"]))
+            deploy["gate_trip_reasons"] = reasons
+            entry["deploy"] = deploy
+        out.append(entry)
+    return {"proposals": out}
+
+
 def list_runs(store, run_id=None):
     """All runs in the store (``run_id`` ignored; present for CLI symmetry)."""
     out = []
@@ -350,11 +388,13 @@ QUERIES = {
     "rollbacks": rollback_timeline,
     "runs": list_runs,
     "report": regenerate_report,
+    "autopilot": autopilot_changes,
 }
 
 
 __all__ = [
     "QUERIES",
+    "autopilot_changes",
     "gate_margins",
     "latency_trend",
     "list_runs",

@@ -17,7 +17,12 @@ soaks).  Per run the store keeps:
   verbatim as JSON (floats survive repr-exactly);
 - ``phases``        — baseline / stage-bake / rollback-settle round
   intervals, the index that lets queries re-aggregate any cohort;
-- ``gates``         — every health-gate evaluation with its measurements.
+- ``gates``         — every health-gate evaluation with its measurements;
+- ``proposals``     — every autopilot proposal (tightened threshold or
+  synthesized metric) with its machine-readable provenance and final
+  verdict (``proposed`` / ``recorded`` / ``deployed`` / ``rolled_back``),
+  linked to the deploy run that carried it — the audit trail behind
+  ``grctl query autopilot``.
 
 Writes are transactional per round: ``commit_round`` inserts the round's
 digests, trailing control-plane records, and the checkpoint watermark in
@@ -33,8 +38,8 @@ import sqlite3
 from repro.fleet.aggregate import HostDigest
 
 #: Bump on any table/column change; stores created by other versions are
-#: refused rather than silently misread.
-SCHEMA_VERSION = 1
+#: refused rather than silently misread.  v2 added the ``proposals`` table.
+SCHEMA_VERSION = 2
 
 _COUNTERS = HostDigest.COUNTER_FIELDS  # checks .. model_submits
 
@@ -132,6 +137,16 @@ CREATE TABLE IF NOT EXISTS gates (
   reasons      TEXT NOT NULL,
   measurements TEXT NOT NULL,
   PRIMARY KEY (run_id, stage, round_index)
+);
+CREATE TABLE IF NOT EXISTS proposals (
+  proposal_id INTEGER PRIMARY KEY,
+  kind        TEXT NOT NULL,
+  guardrail   TEXT NOT NULL,
+  version     INTEGER NOT NULL,
+  spec        TEXT NOT NULL,
+  provenance  TEXT NOT NULL,
+  verdict     TEXT NOT NULL,
+  deploy_run  INTEGER
 );
 """
 
@@ -337,6 +352,38 @@ class ResultsStore:
             "SELECT MAX(seq) AS m FROM events WHERE run_id=?",
             (run_id,)).fetchone()
         return -1 if row["m"] is None else row["m"]
+
+    # -- autopilot proposals ------------------------------------------------
+
+    def record_proposal(self, kind, guardrail, version, spec, provenance,
+                        verdict="proposed"):
+        """Persist one autopilot proposal; returns its id.
+
+        ``provenance`` is the machine-readable why (observed band, sample
+        count, prior threshold ...), stored as canonical JSON.
+        """
+        with self._db:
+            cursor = self._db.execute(
+                "INSERT INTO proposals (kind, guardrail, version, spec,"
+                " provenance, verdict, deploy_run) VALUES (?,?,?,?,?,?,?)",
+                (kind, guardrail, int(version), spec,
+                 json.dumps(provenance, sort_keys=True), verdict, None))
+        return cursor.lastrowid
+
+    def set_proposal_verdict(self, proposal_id, verdict, deploy_run=None):
+        """Record how a proposal ended up (``deployed`` / ``rolled_back``)."""
+        with self._db:
+            cursor = self._db.execute(
+                "UPDATE proposals SET verdict=?, deploy_run=?"
+                " WHERE proposal_id=?",
+                (verdict, deploy_run, proposal_id))
+        if cursor.rowcount == 0:
+            raise StoreError("no proposal {} in store {!r}".format(
+                proposal_id, self.path))
+
+    def proposal_rows(self):
+        return self._db.execute(
+            "SELECT * FROM proposals ORDER BY proposal_id").fetchall()
 
     # -- retention / downsampling ------------------------------------------
 

@@ -37,8 +37,18 @@ Listing 1).  Subcommands:
   rollout rolled back;
 - ``query``   — typed queries over a results store (``status``,
   ``stages``, ``trend``, ``gates``, ``rollbacks``, ``runs``,
-  ``report``), answerable mid-run; ``report`` regenerates the exact
-  ``fleet --json`` report from stored rows;
+  ``report``, ``autopilot``), answerable mid-run; ``report``
+  regenerates the exact ``fleet --json`` report from stored rows and
+  ``autopilot`` answers "what did the autopilot change and why";
+- ``autopilot`` — the §3.3 closed loop: mine fleet digest history for a
+  tightened false-submit threshold, record the proposal (with
+  machine-readable provenance) in the results store, and deploy it
+  through the staged-rollout control plane (``propose`` records one
+  proposal without deploying, ``apply`` runs one observe→propose→deploy
+  iteration, ``loop`` iterates to convergence; see
+  ``docs/autopilot.md``).  Exit 0 when every deployed proposal
+  completed, 1 when a proposal tripped its health gates and was rolled
+  back;
 - ``dash``    — the fleet-health dashboard rendered from store queries
   alone: terminal sparklines by default, a self-contained static HTML
   page with ``--html``;
@@ -75,6 +85,10 @@ Usage::
     python -m repro.tools.grctl serve --store fleet.sqlite --hosts 16
     python -m repro.tools.grctl serve --store fleet.sqlite --resume
     python -m repro.tools.grctl query report --store fleet.sqlite
+    python -m repro.tools.grctl autopilot loop --store fleet.sqlite --quick
+    python -m repro.tools.grctl autopilot apply --store fleet.sqlite \
+        --corrupt-at 0 --json
+    python -m repro.tools.grctl query autopilot --store fleet.sqlite
     python -m repro.tools.grctl dash --store fleet.sqlite --html dash.html
     python -m repro.tools.grctl eval run --quick --jobs 2 \
         --baseline EVAL_baseline.json --out EVAL.json
@@ -294,7 +308,7 @@ def _build_parser():
         "query", help="typed queries over a results store")
     query.add_argument("name",
                        help="one of: status, stages, trend, gates, "
-                            "rollbacks, runs, report")
+                            "rollbacks, runs, report, autopilot")
     query.add_argument("--store", required=True, metavar="PATH",
                        help="sqlite results store")
     query.add_argument("--run", type=int, default=None, metavar="ID",
@@ -309,6 +323,57 @@ def _build_parser():
     dash.add_argument("--html", metavar="FILE", default=None,
                       help="write the static HTML page to FILE instead "
                            "of printing the terminal summary")
+
+    ap = sub.add_parser(
+        "autopilot",
+        help="closed-loop guardrail tightening through the rollout gates")
+    ap.add_argument("mode", choices=("propose", "apply", "loop"),
+                    help="propose: observe and record one proposal "
+                         "without deploying; apply: one observe->propose"
+                         "->deploy iteration; loop: iterate to "
+                         "convergence")
+    ap.add_argument("--store", required=True, metavar="PATH",
+                    help="sqlite results store (created if absent); "
+                         "observe/deploy runs and proposals land here")
+    ap.add_argument("--hosts", type=int, default=8, metavar="N",
+                    help="fleet size (default 8)")
+    ap.add_argument("--stages", default="canary:1,25%,100%", metavar="PLAN",
+                    help="deploy stages (default canary:1,25%%,100%%)")
+    ap.add_argument("--seed", type=int, default=42,
+                    help="fleet seed; each iteration derives its own "
+                         "streams from it (default 42)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes; the report is identical for "
+                         "any value (default 1)")
+    ap.add_argument("--iterations", type=int, default=3, metavar="N",
+                    help="loop iteration cap (default 3; apply/propose "
+                         "always run one)")
+    ap.add_argument("--quick", action="store_true",
+                    help="smoke tier: fewer rounds, lighter workload")
+    ap.add_argument("--corrupt-at", type=int, default=None, metavar="I",
+                    dest="corrupt_at",
+                    help="inject the corrupt-telemetry fault into the "
+                         "canary during iteration I's deploy bake (the "
+                         "deliberately bad proposal the gates must "
+                         "catch)")
+    ap.add_argument("--quantile", type=float, default=None,
+                    help="observed quantile the envelope tracks "
+                         "(default 0.99)")
+    ap.add_argument("--margin", type=float, default=None,
+                    help="envelope margin over the quantile "
+                         "(default 1.5; widened by backoff after a "
+                         "rollback)")
+    ap.add_argument("--no-synthesize", action="store_true",
+                    dest="no_synthesize",
+                    help="skip recording synthesized property-metric "
+                         "proposals from the policy manifest")
+    ap.add_argument("--json", action="store_true", dest="json_out",
+                    help="print the full autopilot report as "
+                         "deterministic JSON")
+    ap.add_argument("--out", metavar="FILE", default=None,
+                    help="also write the deterministic JSON report to "
+                         "FILE (unwritable path: exit 2, before the "
+                         "run starts)")
 
     ev = sub.add_parser(
         "eval", help="guardrail-quality eval over the labelled dataset")
@@ -1019,6 +1084,99 @@ def cmd_dash(args, out):
     return 0
 
 
+def _render_autopilot_summary(out, result):
+    final = result["final"]
+    out.write("autopilot: {} from threshold {:g}\n".format(
+        result["guardrail"], result["initial"]["threshold"]))
+    for proposal in result["synthesis"]:
+        out.write("  synthesized {} ({}) recorded as proposal {}\n".format(
+            proposal["guardrail"], proposal["provenance"]["property"],
+            proposal["proposal_id"]))
+    for entry in result["iterations"]:
+        line = "  iter {}: {}".format(entry["iteration"], entry["action"])
+        proposal = entry.get("proposal")
+        if proposal is not None:
+            line += " v{} threshold {:g}".format(
+                proposal["version"], proposal["provenance"]["threshold"])
+        if entry["action"] == "rolled_back":
+            line += " at {} ({})".format(
+                entry["rolled_back_at_stage"],
+                "; ".join(entry["gate_reasons"]) or "no reasons recorded")
+        out.write(line + "\n")
+    out.write("final: threshold {:g} v{} ({} deployed, {} rolled back{})\n"
+              .format(final["threshold"], final["version"],
+                      final["deployed"], final["rolled_back"],
+                      ", converged" if final["converged"] else ""))
+
+
+def cmd_autopilot(args, out):
+    # Deferred imports, same policy as trace/bench: `check`/`fmt` stay fast.
+    import json as _json
+
+    if args.hosts < 1:
+        raise UsageError("--hosts must be >= 1")
+    if args.jobs < 1:
+        raise UsageError("--jobs must be >= 1")
+    if args.iterations < 1:
+        raise UsageError("--iterations must be >= 1")
+    if args.corrupt_at is not None and args.corrupt_at < 0:
+        raise UsageError("--corrupt-at must be >= 0")
+    if args.quantile is not None and not 0.0 <= args.quantile <= 1.0:
+        raise UsageError("--quantile must be in [0, 1]")
+    if args.margin is not None and args.margin <= 0:
+        raise UsageError("--margin must be > 0")
+
+    from repro.autopilot.loop import AutopilotError, run_autopilot
+    from repro.autopilot.propose import TIGHTEN_MARGIN, TIGHTEN_QUANTILE
+    from repro.fleet.rollout import parse_stages
+
+    try:
+        parse_stages(args.stages, args.hosts)
+    except ValueError as error:
+        raise UsageError(str(error))
+
+    # Fail on an unwritable --out path *before* the run, not after it.
+    out_handle = None
+    if args.out is not None:
+        try:
+            out_handle = open(args.out, "w")
+        except OSError as exc:
+            raise UsageError("cannot write {!r}: {}".format(
+                args.out, exc.strerror or exc))
+
+    iterations = 1 if args.mode in ("propose", "apply") else args.iterations
+    try:
+        with _open_store(args) as store:
+            try:
+                result = run_autopilot(
+                    store, hosts=args.hosts, stages=args.stages,
+                    seed=args.seed, jobs=args.jobs, iterations=iterations,
+                    quick=args.quick, corrupt_at=args.corrupt_at,
+                    quantile=(TIGHTEN_QUANTILE if args.quantile is None
+                              else args.quantile),
+                    margin=(TIGHTEN_MARGIN if args.margin is None
+                            else args.margin),
+                    deploy=args.mode != "propose",
+                    synthesize=not args.no_synthesize)
+            except AutopilotError as error:
+                raise UsageError(str(error))
+        if out_handle is not None:
+            _json.dump(result, out_handle, indent=2, sort_keys=True)
+            out_handle.write("\n")
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+    if args.json_out:
+        _json.dump(result, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        _render_autopilot_summary(out, result)
+        if args.out is not None:
+            out.write("wrote report to {}\n".format(args.out))
+    # Same contract as `fleet`: a gate trip the autopilot provoked is 1.
+    return 1 if result["final"]["rolled_back"] else 0
+
+
 def _render_eval_scores(out, document):
     scores = document["scores"]
     lo, hi = scores["accuracy_ci"]
@@ -1207,7 +1365,8 @@ def main(argv=None, out=None):
     handler = {"check": cmd_check, "inspect": cmd_inspect, "fmt": cmd_fmt,
                "trace": cmd_trace, "bench": cmd_bench, "faults": cmd_faults,
                "fleet": cmd_fleet, "serve": cmd_serve, "query": cmd_query,
-               "dash": cmd_dash, "eval": cmd_eval}
+               "dash": cmd_dash, "autopilot": cmd_autopilot,
+               "eval": cmd_eval}
     try:
         return handler[args.command](args, out)
     except UsageError as error:

@@ -23,6 +23,7 @@ CATEGORIES = (
     "supervisor",
     "fleet",
     "service",
+    "autopilot",
 )
 
 PHASE_INSTANT = "i"

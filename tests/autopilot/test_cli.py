@@ -1,0 +1,108 @@
+"""grctl autopilot: exit codes, --json byte-identity, query integration."""
+
+import io
+import json
+
+from repro.tools.grctl import main
+
+ARGS = ["--hosts", "8", "--seed", "42", "--quick"]
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_loop_clean_exits_zero_with_summary(tmp_path):
+    store = str(tmp_path / "ap.sqlite")
+    code, text = run(["autopilot", "loop", "--store", store] + ARGS)
+    assert code == 0
+    assert "converged" in text
+    assert "deployed" in text
+
+
+def test_apply_corrupt_canary_exits_one(tmp_path):
+    store = str(tmp_path / "ap.sqlite")
+    code, text = run(["autopilot", "apply", "--store", store,
+                      "--corrupt-at", "0"] + ARGS)
+    assert code == 1
+    assert "rolled_back" in text and "at canary" in text
+
+
+def test_json_report_is_byte_identical_across_reruns_and_jobs(tmp_path):
+    runs = []
+    for name, jobs in (("a", "1"), ("b", "1"), ("c", "4")):
+        store = str(tmp_path / "{}.sqlite".format(name))
+        code, text = run(["autopilot", "loop", "--store", store,
+                          "--jobs", jobs, "--json"] + ARGS)
+        assert code == 0
+        runs.append(text)
+    assert runs[0] == runs[1]
+    assert runs[0] == runs[2]
+
+
+def test_out_file_matches_json_stdout(tmp_path):
+    store = str(tmp_path / "ap.sqlite")
+    path = str(tmp_path / "report.json")
+    code, stdout = run(["autopilot", "apply", "--store", store, "--json",
+                        "--out", path] + ARGS)
+    assert code == 0
+    with open(path) as handle:
+        assert handle.read() == stdout
+    # Human rendering still says where the report went.
+    store2 = str(tmp_path / "ap2.sqlite")
+    code, stdout = run(["autopilot", "apply", "--store", store2,
+                        "--out", path] + ARGS)
+    assert code == 0
+    assert "wrote report to {}".format(path) in stdout
+
+
+def test_propose_records_without_deploying(tmp_path):
+    store = str(tmp_path / "ap.sqlite")
+    code, text = run(["autopilot", "propose", "--store", store,
+                      "--json"] + ARGS)
+    assert code == 0
+    result = json.loads(text)
+    assert result["iterations"][0]["action"] == "proposed"
+    assert result["final"]["deployed"] == 0
+
+
+def test_query_autopilot_tells_what_changed_and_why(tmp_path):
+    store = str(tmp_path / "ap.sqlite")
+    run(["autopilot", "loop", "--store", store] + ARGS)
+    code, text = run(["query", "autopilot", "--store", store])
+    assert code == 0
+    changes = json.loads(text)["proposals"]
+    deployed = [c for c in changes if c["verdict"] == "deployed"]
+    assert deployed
+    assert all(c["provenance"]["kind"] == "tighten" for c in deployed)
+    assert all(c["deploy"]["status"] == "completed" for c in deployed)
+
+
+def test_query_autopilot_shows_rollback_reasons(tmp_path):
+    store = str(tmp_path / "ap.sqlite")
+    run(["autopilot", "apply", "--store", store, "--corrupt-at", "0"] + ARGS)
+    code, text = run(["query", "autopilot", "--store", store])
+    assert code == 0
+    changes = json.loads(text)["proposals"]
+    (rolled,) = [c for c in changes if c["verdict"] == "rolled_back"]
+    assert rolled["deploy"]["rolled_back_at_stage"] == "canary"
+    assert any("inconclusive" in reason
+               for reason in rolled["deploy"]["gate_trip_reasons"])
+
+
+def test_flag_validation_is_usage_error(tmp_path):
+    store = str(tmp_path / "ap.sqlite")
+    for argv in (
+        ["autopilot", "loop", "--store", store, "--hosts", "0"],
+        ["autopilot", "loop", "--store", store, "--iterations", "0"],
+        ["autopilot", "loop", "--store", store, "--quantile", "1.5"],
+        ["autopilot", "loop", "--store", store, "--margin", "0"],
+        ["autopilot", "loop", "--store", store, "--corrupt-at", "-1"],
+        ["autopilot", "loop", "--store", store, "--stages", "bogus"],
+        ["autopilot", "loop", "--store", store,
+         "--out", str(tmp_path / "no" / "dir" / "x.json")],
+    ):
+        code, _ = run(argv)
+        assert code == 2, argv

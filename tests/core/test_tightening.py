@@ -1,7 +1,10 @@
 """Auto-tightening of relaxed thresholds (§3.3)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.host import MonitorHost
 from repro.core.registry import GuardrailManager
 from repro.core.tightening import AutoTightener
 from repro.sim.units import SECOND
@@ -106,3 +109,104 @@ def test_stop_halts_updates(host):
 def test_history_starts_with_initial(host):
     tightener, _ = make_tightener(host)
     assert tightener.history == [(0, 1000.0)]
+
+
+# -- regression pins (each failed before its fix) ---------------------------
+
+
+def test_boolean_telemetry_is_ignored(host):
+    # bool is an int subclass: flag keys fed float(True) into the P2
+    # estimator and dragged the envelope toward 1.0.
+    tightener, _ = make_tightener(host, min_samples=1)
+    tightener.start()
+    feed(host, [True, False] * 100)
+    host.engine.run(until=4 * SECOND)
+    assert tightener._sample_count == 0
+    assert tightener.threshold == 1000.0
+    assert tightener.tighten_count == 0
+
+
+def test_history_records_actual_start_time(host):
+    # A tightener started at engine time T>0 used to seed its history at
+    # t=0, misreporting when observation began in merged timelines.
+    tightener, _ = make_tightener(host)
+    host.engine.run(until=2 * SECOND)
+    tightener.start()
+    assert tightener.history[0] == (2 * SECOND, 1000.0)
+    feed(host, [10.0] * 200)
+    host.engine.run(until=6 * SECOND)
+    assert tightener.tighten_count >= 1
+    assert tightener.history[0] == (2 * SECOND, 1000.0)
+    assert all(t >= 2 * SECOND for t, _ in tightener.history)
+
+
+def test_stop_during_tick_does_not_rearm(host):
+    # stop() called from inside the tick (e.g. manager teardown triggered
+    # by a rule/action) used to leave the timer re-armed on a stopped
+    # tightener.
+    tightener, manager = make_tightener(host)
+    original_builder = tightener.spec_builder
+    started = []
+
+    def stopping_builder(threshold):
+        if started:
+            tightener.stop()
+        return original_builder(threshold)
+
+    tightener.spec_builder = stopping_builder
+    tightener.start()
+    started.append(True)
+    feed(host, [10.0] * 200)
+    host.engine.run(until=2 * SECOND)
+    assert tightener.tighten_count == 1
+    assert tightener._timer is None
+    host.engine.run(until=8 * SECOND)
+    assert tightener.tighten_count == 1
+
+
+# -- invariants under arbitrary interleavings -------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.floats(min_value=0.0, max_value=2000.0,
+                  allow_nan=False, allow_infinity=False),
+        st.sampled_from(["tick", "tick", True, False, "junk",
+                         float("nan")]),
+    ),
+    max_size=50,
+)
+
+
+@given(ops=_OPS)
+@settings(max_examples=40, deadline=None)
+def test_tightening_invariants_under_interleavings(ops):
+    """Monotone envelope, floor respected, history bookkeeping exact.
+
+    Whatever order samples (numeric, boolean, junk, NaN) and timer ticks
+    arrive in: the threshold only ever decreases, never below ``floor``,
+    and every tighten appends exactly one history entry at a
+    non-decreasing timestamp.
+    """
+    host = MonitorHost()
+    manager = GuardrailManager(host)
+    tightener = AutoTightener(
+        manager=manager, guardrail_name="tight", key="metric",
+        spec_builder=build_spec, initial_threshold=1000.0,
+        interval=1 * SECOND, quantile=0.9, margin=1.5, floor=5.0,
+        min_samples=5,
+    ).start()
+    now = host.engine.now
+    for op in ops:
+        if op == "tick":
+            now += 1 * SECOND
+            host.engine.run(until=now)
+        else:
+            host.store.save("metric", op)
+    host.engine.run(until=now + 1 * SECOND)
+
+    thresholds = [t for _, t in tightener.history]
+    assert all(b <= a for a, b in zip(thresholds, thresholds[1:]))
+    assert all(t >= 5.0 for t in thresholds[1:])
+    assert tightener.tighten_count == len(tightener.history) - 1
+    times = [t for t, _ in tightener.history]
+    assert all(b >= a for a, b in zip(times, times[1:]))

@@ -93,8 +93,8 @@ def test_list_runs(store):
 
 
 def test_queries_registry_is_complete():
-    assert sorted(QUERIES) == ["gates", "report", "rollbacks", "runs",
-                               "stages", "status", "trend"]
+    assert sorted(QUERIES) == ["autopilot", "gates", "report", "rollbacks",
+                               "runs", "stages", "status", "trend"]
 
 
 def test_regenerate_report_matches_live(faulted):

@@ -40,7 +40,30 @@ def test_schema_version_is_stamped_and_checked(tmp_path):
     db.close()
     with pytest.raises(StoreError, match="schema v999"):
         ResultsStore(path)
-    assert SCHEMA_VERSION == 1
+    assert SCHEMA_VERSION == 2
+
+
+def test_proposal_lifecycle(tmp_path):
+    with ResultsStore(str(tmp_path / "s.sqlite")) as store:
+        provenance = {"prior_threshold": 0.5, "samples": 64,
+                      "band": {"observed_max": 0.13}}
+        pid = store.record_proposal("tighten", "low-false-submit", 2,
+                                    "guardrail ... { }", provenance)
+        row = store.proposal_rows()[0]
+        assert row["proposal_id"] == pid
+        assert row["verdict"] == "proposed"
+        assert row["deploy_run"] is None
+        assert json.loads(row["provenance"]) == provenance
+        store.set_proposal_verdict(pid, "deployed", deploy_run=7)
+        row = store.proposal_rows()[0]
+        assert row["verdict"] == "deployed"
+        assert row["deploy_run"] == 7
+
+
+def test_proposal_verdict_requires_existing_proposal(tmp_path):
+    with ResultsStore(str(tmp_path / "s.sqlite")) as store:
+        with pytest.raises(StoreError, match="no proposal 99"):
+            store.set_proposal_verdict(99, "deployed")
 
 
 def test_run_lifecycle_and_watermark(tmp_path):

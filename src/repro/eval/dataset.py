@@ -10,12 +10,16 @@ must trip, a clean one must not), and :func:`load_dataset` re-derives and
 enforces every label, so a mislabelled line is a load error rather than a
 silent scoring skew.
 
-Two episode kinds:
+Three episode kinds:
 
 - ``host`` — one guardrail family probe (see
   :data:`repro.eval.episodes.HOST_FAMILIES`) in one regime on one seed;
 - ``fleet`` — one staged rollout (hosts/seed/faults) recorded under a
-  permissive gate and judged offline.
+  permissive gate and judged offline;
+- ``scenario`` — one named registry scenario (see
+  :mod:`repro.scenarios`), typically a multi-policy cross-product;
+  seed, duration, and fault plan live in the registry spec, so the
+  episode only names the scenario and carries the forced label.
 
 ``tier`` splits the dataset the same way the bench suite splits: CI's
 ``eval-smoke`` runs the ``quick`` episodes only; the committed baseline
@@ -36,6 +40,9 @@ _COMMON_FIELDS = {"record", "id", "kind", "tier", "expected", "notes"}
 _HOST_FIELDS = _COMMON_FIELDS | {"family", "regime", "seed"}
 _FLEET_FIELDS = _COMMON_FIELDS | {"hosts", "seed", "fault_hosts",
                                   "fault_kind"}
+_SCENARIO_FIELDS = _COMMON_FIELDS | {"scenario"}
+
+EPISODE_KINDS = ("host", "fleet", "scenario")
 
 
 class DatasetError(Exception):
@@ -118,6 +125,31 @@ def _check_fleet(record, line_no):
                                       record["expected"]))
 
 
+def _check_scenario(record, line_no):
+    from repro.scenarios import get_scenario
+
+    unknown = set(record) - _SCENARIO_FIELDS
+    if unknown:
+        _fail(line_no, "unknown scenario-episode field(s): {}".format(
+            ", ".join(sorted(unknown))))
+    name = _require(record, line_no, "scenario", str)
+    try:
+        spec = get_scenario(name)
+    except KeyError:
+        from repro.scenarios import scenario_names
+        _fail(line_no, "unknown scenario {!r}; see `grctl scenarios list` "
+              "({} registered)".format(name, len(scenario_names())))
+    forced_tier = "quick" if spec.quick else "full"
+    if record["tier"] != forced_tier:
+        _fail(line_no, "scenario {!r} is {}-tier in the registry, episode "
+              "says {!r}".format(name, forced_tier, record["tier"]))
+    forced = spec.expected_overall()
+    if record["expected"] != forced:
+        _fail(line_no, "scenario {!r} must expect {!r} (the registry's "
+              "collapsed verdict), got {!r}".format(
+                  name, forced, record["expected"]))
+
+
 def load_dataset(path=None):
     """Parse and fully validate the dataset; returns ``(header, episodes)``.
 
@@ -180,6 +212,8 @@ def load_dataset(path=None):
             _check_host(record, line_no)
         elif episode_kind == "fleet":
             _check_fleet(record, line_no)
+        elif episode_kind == "scenario":
+            _check_scenario(record, line_no)
         else:
             _fail(line_no, "unknown episode kind {!r}".format(episode_kind))
         episodes.append(record)
@@ -227,7 +261,7 @@ def check_dataset(path=None):
         "episodes": len(episodes),
         "by_kind": {
             kind: count(lambda e, kind=kind: e["kind"] == kind)
-            for kind in ("host", "fleet")
+            for kind in EPISODE_KINDS
         },
         "by_tier": {
             tier: count(lambda e, tier=tier: e["tier"] == tier)
@@ -242,6 +276,7 @@ def check_dataset(path=None):
 
 __all__ = [
     "DatasetError",
+    "EPISODE_KINDS",
     "EXPECTED_VERDICTS",
     "SCHEMA_VERSION",
     "TIERS",

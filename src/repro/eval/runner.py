@@ -27,6 +27,10 @@ def _fleet_cost(episode):
     return scale * episode["hosts"] / 4.0
 
 
+def _scenario_cost(episode):
+    return 0.3 if episode["tier"] == "quick" else 3.0
+
+
 def _host_worker(family, regime, seed, conn):
     started = time.monotonic()
     try:
@@ -54,12 +58,28 @@ def _fleet_worker(hosts, seed, fault_hosts, fault_kind, quick, gate_dict,
                              "wall_time_s": time.monotonic() - started}))
 
 
+def _scenario_episode_worker(name, conn):
+    started = time.monotonic()
+    try:
+        from repro.scenarios import get_scenario, run_scenario
+        outcome = run_scenario(get_scenario(name))
+        conn.send(("ok", {"result": outcome,
+                          "wall_time_s": time.monotonic() - started}))
+    except Exception:
+        conn.send(("error", {"error": traceback.format_exc(limit=20),
+                             "wall_time_s": time.monotonic() - started}))
+
+
 def _task_for(episode, gate):
     if episode["kind"] == "host":
         return PoolTask(
             episode["id"], _host_worker,
             (episode["family"], episode["regime"], episode["seed"]),
             cost=_HOST_COST)
+    if episode["kind"] == "scenario":
+        return PoolTask(
+            episode["id"], _scenario_episode_worker, (episode["scenario"],),
+            cost=_scenario_cost(episode))
     return PoolTask(
         episode["id"], _fleet_worker,
         (episode["hosts"], episode["seed"], episode["fault_hosts"],
@@ -97,6 +117,8 @@ def _base_result(episode):
         result.update({"family": episode["family"],
                        "regime": episode["regime"],
                        "seed": episode["seed"]})
+    elif episode["kind"] == "scenario":
+        result["scenario"] = episode["scenario"]
     else:
         result.update({"hosts": episode["hosts"], "seed": episode["seed"],
                        "fault_hosts": episode["fault_hosts"],
@@ -118,6 +140,17 @@ def _merge_outcome(episode, outcome, gate):
         })
         return result
     payload = outcome["payload"]["result"]
+    if episode["kind"] == "scenario":
+        # ``run_scenario`` already collapses per-guardrail verdicts onto
+        # the eval ladder (any trip -> trip, else any inconclusive ...).
+        result.update({
+            "verdict": payload["overall"],
+            "correct": payload["overall"] == episode["expected"],
+            "guardrail": "+".join(sorted(payload["guardrails"])),
+            "verdicts": payload["verdicts"],
+            "registry_matched": payload["matched"],
+        })
+        return result
     result["verdict"] = payload["verdict"]
     result["correct"] = payload["verdict"] == episode["expected"]
     result["guardrail"] = payload["guardrail"]
@@ -158,6 +191,9 @@ def run_episode(episode, gate=None):
     if episode["kind"] == "host":
         payload = run_host_episode(episode["family"], episode["regime"],
                                    episode["seed"])
+    elif episode["kind"] == "scenario":
+        from repro.scenarios import get_scenario, run_scenario
+        payload = run_scenario(get_scenario(episode["scenario"]))
     else:
         payload = run_fleet_episode(
             episode["hosts"], episode["seed"], episode["fault_hosts"],

@@ -63,9 +63,12 @@ def _accuracy(results):
 
 
 def _group(result):
-    """Scoring group of one result: host family, or the fleet fault kind."""
+    """Scoring group of one result: host family, fleet fault kind, or the
+    domain composition of a registry scenario."""
     if result["kind"] == "host":
         return result["family"]
+    if result["kind"] == "scenario":
+        return "scenario/{}".format(result["scenario"].split("/")[0])
     kind = result.get("fault_kind")
     return "fleet/{}".format(kind) if kind else "fleet/clean"
 

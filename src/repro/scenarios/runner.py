@@ -1,0 +1,97 @@
+"""The scenario-zoo runner: registry selection, pooled execution, one doc.
+
+Scenarios run on :func:`repro.bench.pool.run_pool` (one process per
+scenario, retry-once supervision) and results merge sorted by name, so
+the deterministic part of the document is byte-identical across reruns
+and ``--jobs`` values — the same contract the bench and fleet runners
+pin.  Wall-clock times live under the ``info`` key, which deterministic
+consumers drop.
+"""
+
+import time
+
+from repro.bench.pool import PoolTask, run_pool
+from repro.scenarios.registry import all_scenarios, self_check
+from repro.scenarios.spec import run_scenario
+
+
+def select_scenarios(filter_substring=None, quick=False):
+    """Registry subset for one run, sorted by name."""
+    specs = all_scenarios()
+    if quick:
+        specs = [spec for spec in specs if spec.quick]
+    if filter_substring:
+        specs = [spec for spec in specs if filter_substring in spec.name]
+    return specs
+
+
+def _scenario_worker(name, conn):
+    """Pool child: run one named scenario, ship its result dict."""
+    from repro.scenarios.registry import get_scenario
+
+    start = time.perf_counter()
+    try:
+        result = run_scenario(get_scenario(name))
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        import traceback
+
+        conn.send(("error", {
+            "error": "{}: {}".format(type(exc).__name__, exc),
+            "traceback": traceback.format_exc(),
+            "wall_time_s": time.perf_counter() - start,
+        }))
+        return
+    conn.send(("ok", {
+        "result": result,
+        "wall_time_s": time.perf_counter() - start,
+    }))
+
+
+def run_scenarios(specs, jobs=1, timeout_s=300.0, progress=None):
+    """Run ``specs`` under the pool; returns the scenarios document.
+
+    The document's ``scenarios`` list is sorted by name with purely
+    deterministic content; ``matched``/``mismatched``/``errors`` count
+    the run's outcome and ``info`` carries the nondeterministic extras.
+    """
+    problems = self_check()
+    if problems:
+        raise ValueError("registry self-check failed: {}"
+                         .format("; ".join(problems)))
+    specs = sorted(specs, key=lambda spec: spec.name)
+    # Longest-first packs the pool; ties broken by name for determinism.
+    ordered = sorted(specs, key=lambda spec: (-spec.duration_s, spec.name))
+    tasks = [PoolTask(spec.name, _scenario_worker, (spec.name,),
+                      cost=spec.duration_s)
+             for spec in ordered]
+    outcomes = run_pool(tasks, jobs=jobs, timeout_s=timeout_s,
+                        progress=progress)
+
+    scenarios, errors, wall_times = [], [], {}
+    for outcome in outcomes:
+        payload = outcome["payload"] or {}
+        if outcome["status"] == "ok":
+            scenarios.append(payload["result"])
+            wall_times[outcome["id"]] = round(
+                payload.get("wall_time_s", 0.0), 3)
+        else:
+            errors.append({"name": outcome["id"],
+                           "status": outcome["status"],
+                           "error": payload.get("error", "")})
+    matched = sum(1 for result in scenarios if result["matched"])
+    mismatched = [result["name"] for result in scenarios
+                  if not result["matched"]]
+    return {
+        "schema": "repro-scenarios/v1",
+        "count": len(specs),
+        "matched": matched,
+        "mismatched": mismatched,
+        "errors": errors,
+        "scenarios": scenarios,
+        "info": {"wall_time_s": wall_times},
+    }
+
+
+def deterministic_document(document):
+    """The byte-stable projection: everything except ``info``."""
+    return {key: value for key, value in document.items() if key != "info"}

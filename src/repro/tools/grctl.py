@@ -59,7 +59,13 @@ Listing 1).  Subcommands:
   :class:`GateConfig` thresholds over recorded rollout measurements and
   must reproduce the shipped defaults, ``diff`` compares a saved
   results document to a baseline, and ``--check-dataset`` is the
-  dataset-integrity gate (see ``docs/eval.md``).
+  dataset-integrity gate (see ``docs/eval.md``);
+- ``scenarios`` — the cross-policy scenario zoo (see
+  ``docs/scenarios.md``): ``list`` enumerates the registry, ``describe``
+  prints one spec, ``run`` executes a selection on a process pool and
+  compares every guardrail verdict against the registry's expectations.
+  Exit 0 when reality matches the registry, 1 on any mismatch or
+  scenario error.
 
 Exit codes are uniform across subcommands: **0** success, **1** a check,
 gate, or scenario failed (the thing the subcommand exists to detect),
@@ -96,6 +102,10 @@ Usage::
     python -m repro.tools.grctl eval diff EVAL.json \
         --baseline EVAL_baseline.json
     python -m repro.tools.grctl eval --check-dataset
+    python -m repro.tools.grctl scenarios list
+    python -m repro.tools.grctl scenarios describe feedback/coupled/timer
+    python -m repro.tools.grctl scenarios run --quick --jobs 4 --json
+    python -m repro.tools.grctl scenarios run --filter storage
 """
 
 import argparse
@@ -411,6 +421,32 @@ def _build_parser():
     ev.add_argument("--from", dest="from_doc", metavar="FILE", default=None,
                     help="for calibrate: recorded results document to "
                          "calibrate from (default: run the full tier now)")
+
+    sc = sub.add_parser(
+        "scenarios",
+        help="the cross-policy scenario zoo: list, describe, run")
+    sc.add_argument("mode", choices=("list", "run", "describe"),
+                    help="list: enumerate registered scenarios; describe: "
+                         "print one scenario's full spec; run: execute a "
+                         "selection and compare verdicts to the registry")
+    sc.add_argument("name", nargs="?", metavar="SCENARIO",
+                    help="scenario name (required for describe; for run, "
+                         "restricts the selection to that one scenario)")
+    sc.add_argument("--filter", default=None, metavar="SUBSTR",
+                    help="only scenarios whose name contains SUBSTR")
+    sc.add_argument("--quick", action="store_true",
+                    help="only quick-tier scenarios (drops the long "
+                         "feedback pair; the CI smoke set)")
+    sc.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes; the document is identical "
+                         "for any value (default 1)")
+    sc.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                    help="per-scenario timeout in seconds (default 300)")
+    sc.add_argument("--json", action="store_true", dest="json_out",
+                    help="print the deterministic results document as JSON")
+    sc.add_argument("--out", metavar="FILE", default=None,
+                    help="also write the full document (including timing "
+                         "info) to FILE")
     return parser
 
 
@@ -1275,9 +1311,11 @@ def cmd_eval(args, out):
             out.write("dataset: FAIL: {}\n".format(error))
             return 1
         out.write("dataset: ok — version {} ({} episode(s): "
-                  "{} host / {} fleet, {} quick-tier)\n".format(
+                  "{} host / {} fleet / {} scenario, "
+                  "{} quick-tier)\n".format(
                       summary["dataset_version"], summary["episodes"],
                       summary["by_kind"]["host"], summary["by_kind"]["fleet"],
+                      summary["by_kind"]["scenario"],
                       summary["by_tier"]["quick"]))
         return 0
     if args.mode is None:
@@ -1359,6 +1397,128 @@ def cmd_eval(args, out):
     return 1 if incorrect else 0
 
 
+def _select_scenarios(args):
+    """Resolve the run/list selection; UsageError on unknown/empty."""
+    from repro.scenarios import get_scenario, select_scenarios
+
+    if args.name is not None:
+        try:
+            selection = [get_scenario(args.name)]
+        except KeyError:
+            raise UsageError("unknown scenario {!r}; see "
+                             "'grctl scenarios list'".format(args.name))
+        if args.filter and args.filter not in args.name:
+            selection = []
+        if args.quick:
+            selection = [spec for spec in selection if spec.quick]
+    else:
+        selection = select_scenarios(filter_substring=args.filter,
+                                     quick=args.quick)
+    if not selection:
+        raise UsageError("selection matches no scenarios")
+    return selection
+
+
+def cmd_scenarios(args, out):
+    # Deferred imports, same policy as trace/bench: `check`/`fmt` stay fast.
+    import json as _json
+
+    if args.mode == "describe":
+        if args.name is None:
+            raise UsageError("describe needs a scenario name")
+        from repro.scenarios import get_scenario
+
+        try:
+            spec = get_scenario(args.name)
+        except KeyError:
+            raise UsageError("unknown scenario {!r}; see "
+                             "'grctl scenarios list'".format(args.name))
+        if args.json_out:
+            _json.dump(spec.to_dict(), out, indent=2, sort_keys=True)
+            out.write("\n")
+        else:
+            out.write("{}\n".format(spec.name))
+            out.write("  kind:      {}\n".format(spec.kind))
+            out.write("  domains:   {}\n".format(", ".join(
+                "{}({})".format(domain, workload) for domain, workload
+                in zip(spec.domains, spec.workloads))))
+            out.write("  policies:  {}\n".format(", ".join(spec.policies)))
+            out.write("  fault:     {}\n".format(spec.fault))
+            out.write("  seed:      {}\n".format(spec.seed))
+            out.write("  duration:  {:g}s\n".format(spec.duration_s))
+            out.write("  tier:      {}\n".format(
+                "quick" if spec.quick else "full"))
+            out.write("  expected:  {}\n".format(", ".join(
+                "{}={}".format(key, value) for key, value
+                in sorted(spec.expected.items()))))
+            out.write("  {}\n".format(spec.description))
+        return 0
+
+    selection = _select_scenarios(args)
+
+    if args.mode == "list":
+        if args.json_out:
+            _json.dump([spec.to_dict() for spec in selection], out,
+                       indent=2, sort_keys=True)
+            out.write("\n")
+        else:
+            width = max(len(spec.name) for spec in selection)
+            for spec in selection:
+                out.write("{:<{width}}  {:<8}  {:<5}  {}\n".format(
+                    spec.name, spec.kind,
+                    "quick" if spec.quick else "full",
+                    spec.expected_overall(), width=width))
+            out.write("{} scenario(s)\n".format(len(selection)))
+        return 0
+
+    # mode == "run"
+    if args.jobs < 1:
+        raise UsageError("--jobs must be >= 1")
+    from repro.scenarios import deterministic_document, run_scenarios
+
+    # Fail on an unwritable --out path *before* the run, not after it.
+    out_handle = None
+    if args.out is not None:
+        try:
+            out_handle = open(args.out, "w")
+        except OSError as exc:
+            raise UsageError("cannot write {!r}: {}".format(
+                args.out, exc.strerror or exc))
+    try:
+        document = run_scenarios(selection, jobs=args.jobs,
+                                 timeout_s=args.timeout)
+        if out_handle is not None:
+            _json.dump(document, out_handle, indent=2, sort_keys=True)
+            out_handle.write("\n")
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+
+    passed = (document["matched"] == document["count"]
+              and not document["errors"])
+    if args.json_out:
+        _json.dump(deterministic_document(document), out, indent=2,
+                   sort_keys=True)
+        out.write("\n")
+        return 0 if passed else 1
+    for result in document["scenarios"]:
+        if result["matched"]:
+            out.write("ok       {}  ({})\n".format(
+                result["name"], result["overall"]))
+        else:
+            out.write("MISMATCH {}  expected {} got {}\n".format(
+                result["name"], result["expected"], result["verdicts"]))
+    for error in document["errors"]:
+        out.write("ERROR    {}  {}\n".format(error["name"], error["error"]))
+    out.write("scenarios: {} run, {} matched, {} mismatched, "
+              "{} error(s)\n".format(
+                  document["count"], document["matched"],
+                  len(document["mismatched"]), len(document["errors"])))
+    if args.out is not None:
+        out.write("wrote document to {}\n".format(args.out))
+    return 0 if passed else 1
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
@@ -1366,7 +1526,7 @@ def main(argv=None, out=None):
                "trace": cmd_trace, "bench": cmd_bench, "faults": cmd_faults,
                "fleet": cmd_fleet, "serve": cmd_serve, "query": cmd_query,
                "dash": cmd_dash, "autopilot": cmd_autopilot,
-               "eval": cmd_eval}
+               "eval": cmd_eval, "scenarios": cmd_scenarios}
     try:
         return handler[args.command](args, out)
     except UsageError as error:

@@ -24,6 +24,7 @@ CATEGORIES = (
     "fleet",
     "service",
     "autopilot",
+    "scenarios",
 )
 
 PHASE_INSTANT = "i"

@@ -19,6 +19,10 @@ HOST_EPISODE = {"record": "episode", "id": "host-P1-clean-s11",
 FLEET_EPISODE = {"record": "episode", "id": "fleet-quick-clean-s42",
                  "kind": "fleet", "tier": "quick", "hosts": 4, "seed": 42,
                  "fault_hosts": 0, "fault_kind": None, "expected": "allow"}
+SCENARIO_EPISODE = {"record": "episode", "id": "scenario-cs-quiet",
+                    "kind": "scenario", "tier": "quick",
+                    "scenario": "cache+storage/quiet/clean",
+                    "expected": "allow"}
 
 
 def write(tmp_path, records):
@@ -33,14 +37,18 @@ def test_committed_dataset_loads_and_checks():
     assert len(episodes) >= 60
     summary = check_dataset()
     assert summary["episodes"] == len(episodes)
-    assert summary["by_kind"]["host"] + summary["by_kind"]["fleet"] == \
-        len(episodes)
+    assert sum(summary["by_kind"].values()) == len(episodes)
     # Every family and every fleet fault kind is covered.
     families = {e["family"] for e in episodes if e["kind"] == "host"}
     assert families == {"P1", "P2", "P3", "P4", "P5", "P6", "A4"}
     kinds = {e["fault_kind"] for e in episodes
              if e["kind"] == "fleet" and e["fault_hosts"]}
     assert kinds == {"corrupt", "drift", "stall"}
+    # The scenario episodes span all three verdicts (multi-policy zoo).
+    scenario_expected = {e["expected"] for e in episodes
+                         if e["kind"] == "scenario"}
+    assert summary["by_kind"]["scenario"] >= 4
+    assert scenario_expected == {"allow", "inconclusive", "trip"}
 
 
 def test_round_trip(tmp_path):
@@ -96,6 +104,41 @@ def test_labels_are_forced_by_construction(tmp_path):
                    fault_kind="corrupt")
     path = write(tmp_path, [HEADER, episode])
     with pytest.raises(DatasetError, match="must expect 'trip'"):
+        load_dataset(path)
+
+
+def test_scenario_episode_round_trip(tmp_path):
+    path = write(tmp_path, [HEADER, SCENARIO_EPISODE])
+    _, episodes = load_dataset(path)
+    assert episodes == [SCENARIO_EPISODE]
+
+
+def test_scenario_episode_must_name_a_registered_scenario(tmp_path):
+    episode = dict(SCENARIO_EPISODE, scenario="no/such/scenario")
+    path = write(tmp_path, [HEADER, episode])
+    with pytest.raises(DatasetError, match="unknown scenario"):
+        load_dataset(path)
+
+
+def test_scenario_label_is_forced_by_the_registry(tmp_path):
+    episode = dict(SCENARIO_EPISODE, expected="trip")
+    path = write(tmp_path, [HEADER, episode])
+    with pytest.raises(DatasetError, match="must expect 'allow'"):
+        load_dataset(path)
+
+
+def test_scenario_tier_is_forced_by_the_registry(tmp_path):
+    episode = dict(SCENARIO_EPISODE, tier="full")
+    path = write(tmp_path, [HEADER, episode])
+    with pytest.raises(DatasetError, match="quick-tier in the registry"):
+        load_dataset(path)
+
+
+def test_scenario_episode_rejects_stray_fields(tmp_path):
+    # Seed/duration live in the registry spec, not the episode.
+    episode = dict(SCENARIO_EPISODE, seed=11)
+    path = write(tmp_path, [HEADER, episode])
+    with pytest.raises(DatasetError, match="unknown scenario-episode field"):
         load_dataset(path)
 
 

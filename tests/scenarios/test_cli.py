@@ -1,0 +1,130 @@
+"""grctl scenarios: the uniform 0/1/2 exit-code contract, pinned (S2).
+
+0 — every selected scenario ran and matched its expected verdicts;
+1 — a verdict mismatch or a scenario error (the thing the subcommand
+    exists to detect);
+2 — usage error: unknown scenario name, bad ``--jobs``, empty selection,
+    unwritable ``--out``, ``describe`` without a name.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.tools.grctl import main
+
+#: Cheap, representative run selection (4 single-domain storage scenarios).
+RUN_ARGS = ["--quick", "--filter", "storage/"]
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_list_enumerates_at_least_24_covering_all_domains():
+    code, stdout = run(["scenarios", "list", "--json"])
+    assert code == 0
+    specs = json.loads(stdout)
+    assert len(specs) >= 24
+    covered = {domain for spec in specs for domain in spec["domains"]}
+    assert covered == {"storage", "cache", "mm", "net", "sched"}
+
+
+def test_list_human_rendering_counts():
+    code, stdout = run(["scenarios", "list"])
+    assert code == 0
+    assert "scenario(s)" in stdout
+
+
+def test_describe_prints_the_spec():
+    code, stdout = run(["scenarios", "describe", "storage/drift/clean"])
+    assert code == 0
+    assert "storage/drift/clean" in stdout
+    assert "expected:" in stdout
+    code, stdout = run(["scenarios", "describe", "storage/drift/clean",
+                        "--json"])
+    assert code == 0
+    assert json.loads(stdout)["name"] == "storage/drift/clean"
+
+
+def test_run_exit_0_when_all_match():
+    code, stdout = run(["scenarios", "run"] + RUN_ARGS)
+    assert code == 0
+    assert "0 mismatched, 0 error(s)" in stdout
+
+
+def test_run_json_byte_identical_across_jobs_and_reruns():
+    outputs = []
+    for jobs in ("1", "4", "4"):
+        code, stdout = run(["scenarios", "run", "--json", "--jobs", jobs]
+                           + RUN_ARGS)
+        assert code == 0
+        outputs.append(stdout)
+    assert outputs[0] == outputs[1] == outputs[2]
+    document = json.loads(outputs[0])
+    assert document["schema"] == "repro-scenarios/v1"
+    assert "info" not in document  # nothing operational in the bytes
+
+
+def test_run_out_writes_full_document(tmp_path):
+    path = str(tmp_path / "SCENARIOS.json")
+    code, _ = run(["scenarios", "run", "--out", path] + RUN_ARGS)
+    assert code == 0
+    with open(path) as handle:
+        document = json.load(handle)
+    assert document["matched"] == document["count"]
+    assert "info" in document  # the file keeps the timing extras
+
+
+def test_run_exit_1_on_verdict_mismatch(monkeypatch):
+    """A scenario whose verdicts disagree with the registry -> exit 1.
+
+    Pool children rebuild the registry from source, so the disagreement is
+    staged at the document layer: the CLI must exit on ``matched`` falling
+    short of ``count``, however the mismatch arose.
+    """
+    import repro.scenarios as scenarios_module
+
+    real = scenarios_module.run_scenarios
+
+    def doctored(specs, **kwargs):
+        document = real(specs, **kwargs)
+        first = document["scenarios"][0]
+        first["matched"] = False
+        document["matched"] -= 1
+        document["mismatched"] = [first["name"]]
+        return document
+
+    monkeypatch.setattr(scenarios_module, "run_scenarios", doctored)
+    code, stdout = run(["scenarios", "run", "--quick", "--filter",
+                        "storage/quiet/clean"])
+    assert code == 1
+    assert "MISMATCH" in stdout
+
+
+def test_run_exit_1_on_scenario_error():
+    code, stdout = run(["scenarios", "run", "--timeout", "0.000001",
+                        "--quick", "--filter", "storage/quiet/clean"])
+    assert code == 1
+    assert "ERROR" in stdout
+
+
+@pytest.mark.parametrize("argv", [
+    ["scenarios", "run", "no/such/scenario"],
+    ["scenarios", "describe", "no/such/scenario"],
+    ["scenarios", "describe"],
+    ["scenarios", "run", "--jobs", "0", "--quick"],
+    ["scenarios", "run", "--filter", "zzz-matches-nothing"],
+    ["scenarios", "list", "--filter", "zzz-matches-nothing"],
+])
+def test_usage_errors_exit_2(argv):
+    assert run(argv)[0] == 2
+
+
+def test_run_unwritable_out_exits_2_before_running(tmp_path):
+    path = str(tmp_path / "no-such-dir" / "SCENARIOS.json")
+    code, _ = run(["scenarios", "run", "--out", path] + RUN_ARGS)
+    assert code == 2

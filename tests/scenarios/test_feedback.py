@@ -1,0 +1,92 @@
+"""§6 feedback-loop study: oscillation, damping, and idle-check accounting.
+
+Everything here is pinned at the registry's fixed seed (17).  The physics:
+each false submit files retry debt onto the bottleneck link; under
+timer-driven checking the storage guardrail's detection delay lets the
+debt overdrive the link, the loss guardrail re-enables the broken model,
+and the pair alternates for the whole run.  Dependency-driven checking
+fires the storage check off the feature-store write, catches the drift
+within the drain headroom, and the loop damps after a single trip.
+"""
+
+import pytest
+
+from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios.feedback import (
+    A_NAME,
+    B_NAME,
+    run_feedback_study,
+    run_idle_check_study,
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def timer_study():
+    return run_feedback_study("timer", seed=17, duration_s=40.0)
+
+
+@pytest.fixture(scope="module")
+def dependency_study():
+    return run_feedback_study("dependency", seed=17, duration_s=40.0)
+
+
+def test_timer_mode_oscillates(timer_study):
+    study = timer_study
+    assert study["alternations"] >= 3
+    assert not study["converged"]
+    assert study["tail_trips"] > 0  # still thrashing in the final quarter
+    # Strict alternation: every trip flips which guardrail fired.
+    trips = study["trip_sequence"]
+    assert set(trips) == {A_NAME, B_NAME}
+    assert all(a != b for a, b in zip(trips, trips[1:]))
+
+
+def test_dependency_mode_converges(dependency_study):
+    study = dependency_study
+    assert study["converged"]
+    assert study["alternations"] == 0
+    assert study["tail_trips"] == 0
+    # Exactly one trip: the genuine post-drift detection by the storage
+    # guardrail, which turns the model off for good.
+    assert study["trip_sequence"] == [A_NAME]
+    assert study["ml_enabled_final"] is False
+
+
+def test_dependency_detection_is_faster(timer_study, dependency_study):
+    """Dependency checking catches the drift no later than the timer does,
+    and the run files strictly less retry debt onto the link."""
+    assert (dependency_study["first_trip_s"]
+            <= timer_study["first_trip_s"] + 1.0)
+    assert (dependency_study["retry_debt_filed_mbit"]
+            < timer_study["retry_debt_filed_mbit"])
+
+
+def test_idle_check_study_shows_reduction():
+    """On a quiet host the timer burns idle checks; dependency burns none.
+
+    ``false_submit_rate`` is never written (model off, no drift), so every
+    timer-driven storage check re-reads unchanged keys.  The dependency
+    trigger simply never fires for it.
+    """
+    timer = run_idle_check_study("timer", seed=17, duration_s=40.0)
+    dependency = run_idle_check_study("dependency", seed=17, duration_s=40.0)
+    assert timer["trips"] == dependency["trips"] == 0
+    assert timer["idle_checks"] > 0
+    assert dependency["idle_checks"] == 0
+    assert dependency["checks_total"] < timer["checks_total"]
+
+
+def test_feedback_scenarios_match_registry():
+    timer = run_scenario(get_scenario("feedback/coupled/timer"))
+    dependency = run_scenario(get_scenario("feedback/coupled/dependency"))
+    assert timer["matched"]
+    assert timer["verdicts"] == {"behavior": "oscillates"}
+    assert timer["overall"] == "trip"
+    assert dependency["matched"]
+    assert dependency["verdicts"] == {"behavior": "converges"}
+    assert dependency["overall"] == "allow"
+    # The study payload rides along for benchmarks and docs.
+    assert timer["study"]["alternations"] >= 3
+    assert dependency["study"]["tail_trips"] == 0

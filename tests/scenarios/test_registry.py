@@ -1,0 +1,114 @@
+"""Registry structure, spec validation, and single-scenario runs."""
+
+import pytest
+
+from repro.scenarios import (
+    DOMAINS,
+    GUARDRAIL_NAMES,
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+    self_check,
+)
+
+
+def test_self_check_is_clean():
+    assert self_check() == []
+
+
+def test_registry_size_and_domain_coverage():
+    specs = all_scenarios()
+    assert len(specs) >= 24
+    covered = {domain for spec in specs for domain in spec.domains}
+    assert covered == set(DOMAINS)
+
+
+def test_names_sorted_and_unique():
+    names = scenario_names()
+    assert names == sorted(names)
+    assert len(names) == len(set(names))
+
+
+def test_get_scenario_round_trip():
+    for name in scenario_names():
+        assert get_scenario(name).name == name
+    with pytest.raises(KeyError):
+        get_scenario("no/such/scenario")
+
+
+def test_quick_tier_excludes_feedback_pair():
+    quick = [spec for spec in all_scenarios() if spec.quick]
+    assert len(quick) >= 24
+    assert all(spec.kind == "zoo" for spec in quick)
+    full_only = [spec for spec in all_scenarios() if not spec.quick]
+    assert sorted(spec.name for spec in full_only) == [
+        "feedback/coupled/dependency", "feedback/coupled/timer"]
+
+
+def test_spec_validates_alignment_and_fault():
+    with pytest.raises(ValueError):
+        ScenarioSpec("bad", ("storage", "cache"), ("quiet",))
+    with pytest.raises(ValueError):
+        ScenarioSpec("bad", ("storage",), ("quiet",), fault="meteor-strike")
+
+
+def test_spec_to_dict_is_json_shaped():
+    spec = get_scenario("all-five/quiet/clean")
+    doc = spec.to_dict()
+    assert doc["name"] == "all-five/quiet/clean"
+    assert doc["domains"] == list(DOMAINS) or set(doc["domains"]) == set(DOMAINS)
+    assert doc["expected"] == spec.expected
+    assert doc["quick"] is True
+
+
+def test_expected_overall_ladder():
+    assert get_scenario("storage/drift/clean").expected_overall() == "trip"
+    assert get_scenario("storage/quiet/clean").expected_overall() == "allow"
+    assert (get_scenario("storage/quiet/corrupt-telemetry")
+            .expected_overall() == "inconclusive")
+    assert (get_scenario("feedback/coupled/timer")
+            .expected_overall() == "trip")
+    assert (get_scenario("feedback/coupled/dependency")
+            .expected_overall() == "allow")
+
+
+def test_run_scenario_quiet_host_matches():
+    result = run_scenario(get_scenario("storage/quiet/clean"))
+    assert result["matched"]
+    assert result["overall"] == "allow"
+    assert result["verdicts"] == {"zoo-storage-false-submit": "quiet"}
+    assert result["domains"]["storage"]["counters"]["completed_ios"] > 0
+
+
+def test_run_scenario_drift_trips():
+    result = run_scenario(get_scenario("storage/drift/clean"))
+    assert result["matched"]
+    assert result["overall"] == "trip"
+    assert result["guardrails"]["zoo-storage-false-submit"]["violations"] > 0
+
+
+def test_run_scenario_corrupt_goes_inconclusive():
+    result = run_scenario(get_scenario("storage/quiet/corrupt-telemetry"))
+    assert result["matched"]
+    assert result["overall"] == "inconclusive"
+    entry = result["guardrails"]["zoo-storage-false-submit"]
+    assert entry["violations"] == 0
+    assert entry["inconclusive"] == entry["checks"]
+
+
+def test_run_scenario_cross_product_composes_verdicts():
+    result = run_scenario(get_scenario("cache+mm/scan/clean"))
+    assert result["matched"]
+    assert result["verdicts"] == {"zoo-cache-hit-rate": "trip",
+                                  "zoo-mm-tier-hit-rate": "quiet"}
+    assert set(result["domains"]) == {"cache", "mm"}
+
+
+def test_all_five_domains_on_one_kernel():
+    result = run_scenario(get_scenario("all-five/quiet/clean"))
+    assert result["matched"]
+    assert set(result["domains"]) == set(DOMAINS)
+    assert set(result["guardrails"]) == set(GUARDRAIL_NAMES.values())
+    assert all(v == "quiet" for v in result["verdicts"].values())

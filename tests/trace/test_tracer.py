@@ -143,5 +143,5 @@ def test_all_categories_are_known():
     assert set(CATEGORIES) == {
         "hook", "monitor.check", "rule.eval", "action",
         "featurestore.save", "retrain", "fault", "supervisor", "fleet",
-        "service", "autopilot",
+        "service", "autopilot", "scenarios",
     }
